@@ -1,0 +1,36 @@
+//! **Figure 10** — effect of the lookahead amount on FastMatch latency.
+//!
+//! Sweeps lookahead ∈ {2³ … 2¹²} per query at the default ε/δ. Expected
+//! shape: low-|V_Z| queries are insensitive; high-cardinality queries
+//! (TAXI, POLICE-q3) benefit from larger lookahead (better bitmap cache
+//! utilization) with diminishing returns past ~2¹⁰.
+
+use fastmatch_bench::report::render_series;
+use fastmatch_bench::{measure, BenchEnv, Workload};
+use fastmatch_engine::exec::FastMatchExec;
+
+const LOOKAHEADS: [usize; 8] = [8, 16, 64, 128, 256, 1024, 2048, 4096];
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let queries = fastmatch_data::all_queries();
+    let w = Workload::prepare(env, &queries);
+    println!(
+        "== Figure 10: lookahead vs FastMatch wall time (s); eps = 0.04, delta = 0.01, runs = {} ==\n",
+        env.sweep_runs
+    );
+    for q in &queries {
+        let p = w.prepare_query(q);
+        let cfg = w.default_config(&p);
+        let mut points = Vec::new();
+        for &la in &LOOKAHEADS {
+            let exec = FastMatchExec::with_lookahead(la);
+            let m = measure(&w, &p, &cfg, &exec, env.sweep_runs, env.seed ^ 0xf10);
+            points.push((la as f64, m.avg_wall.as_secs_f64()));
+        }
+        println!(
+            "{}",
+            render_series(q.id, "lookahead (blocks)", &[("FastMatch".into(), points)])
+        );
+    }
+}

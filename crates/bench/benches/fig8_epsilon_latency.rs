@@ -1,0 +1,45 @@
+//! **Figure 8** — effect of ε on query latency.
+//!
+//! Sweeps ε over the paper's range (0.02 … 0.11) for every query and each
+//! approximate executor at δ = 0.01, printing one (ε, seconds) series per
+//! query × executor. Expected shape: latency decreases as ε grows (looser
+//! tolerance ⇒ fewer samples), with FastMatch dominating.
+
+use fastmatch_bench::report::render_series;
+use fastmatch_bench::{measure, BenchEnv, Workload};
+use fastmatch_core::histsim::HistSimConfig;
+use fastmatch_engine::exec::{Executor, FastMatchExec, ScanMatchExec, SyncMatchExec};
+
+const EPSILONS: [f64; 10] = [0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10, 0.11];
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let queries = fastmatch_data::all_queries();
+    let w = Workload::prepare(env, &queries);
+    println!(
+        "== Figure 8: epsilon vs wall time (s); delta = 0.01, runs = {} ==\n",
+        env.sweep_runs
+    );
+    let execs: Vec<Box<dyn Executor>> = vec![
+        Box::new(ScanMatchExec),
+        Box::new(SyncMatchExec),
+        Box::new(FastMatchExec::default()),
+    ];
+    for q in &queries {
+        let p = w.prepare_query(q);
+        let mut series = Vec::new();
+        for e in &execs {
+            let mut points = Vec::new();
+            for &eps in &EPSILONS {
+                let cfg = HistSimConfig {
+                    epsilon: eps,
+                    ..w.default_config(&p)
+                };
+                let m = measure(&w, &p, &cfg, e.as_ref(), env.sweep_runs, env.seed ^ 0xf18);
+                points.push((eps, m.avg_wall.as_secs_f64()));
+            }
+            series.push((e.name().to_string(), points));
+        }
+        println!("{}", render_series(q.id, "epsilon", &series));
+    }
+}

@@ -1,0 +1,107 @@
+//! Criterion microbenchmarks of the algorithmic kernels: hypergeometric
+//! P-values (stage 1), Theorem-1 bounds (stage 2/3), distance evaluation,
+//! Holm–Bonferroni, bitmap probing and lookahead marking.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use fastmatch_core::stats::deviation::DeviationBound;
+use fastmatch_core::stats::holm_bonferroni::HolmBonferroni;
+use fastmatch_core::stats::hypergeometric::underrepresentation_pvalues;
+use fastmatch_core::Metric;
+use fastmatch_store::bitmap::BitmapIndex;
+use fastmatch_store::block::BlockLayout;
+use fastmatch_store::schema::{AttrDef, Schema};
+use fastmatch_store::table::Table;
+
+fn bench_hypergeometric(c: &mut Criterion) {
+    // TAXI-scale stage 1: 7641 candidates, 500k draws from 600M rows.
+    let n_is: Vec<u64> = (0..7641u64).map(|i| (i * 37) % 1200).collect();
+    c.bench_function("stage1_hypergeometric_pvalues_7641", |b| {
+        b.iter(|| {
+            underrepresentation_pvalues(
+                black_box(&n_is),
+                black_box(600_000_000),
+                black_box(0.0008),
+                black_box(500_000),
+            )
+        })
+    });
+}
+
+fn bench_deviation(c: &mut Criterion) {
+    let bound = DeviationBound::L1 { groups: 24 };
+    c.bench_function("theorem1_samples_needed", |b| {
+        b.iter(|| bound.samples_needed(black_box(0.04), black_box(0.003)))
+    });
+    c.bench_function("theorem1_pvalue", |b| {
+        b.iter(|| bound.pvalue(black_box(0.05), black_box(120_000)))
+    });
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let p: Vec<f64> = (0..351).map(|i| (i + 1) as f64).collect();
+    let total: f64 = p.iter().sum();
+    let p: Vec<f64> = p.iter().map(|x| x / total).collect();
+    let q = vec![1.0 / 351.0; 351];
+    c.bench_function("l1_distance_351_groups", |b| {
+        b.iter(|| Metric::L1.eval(black_box(&p), black_box(&q)))
+    });
+    c.bench_function("l2_distance_351_groups", |b| {
+        b.iter(|| Metric::L2.eval(black_box(&p), black_box(&q)))
+    });
+}
+
+fn bench_holm_bonferroni(c: &mut Criterion) {
+    let pvals: Vec<f64> = (0..2110).map(|i| ((i * 811) % 1000) as f64 / 1000.0).collect();
+    c.bench_function("holm_bonferroni_2110", |b| {
+        b.iter(|| HolmBonferroni::test(black_box(&pvals), 0.0033))
+    });
+}
+
+fn bitmap_fixture() -> (BitmapIndex, usize) {
+    // 2000 candidates over 10_000 blocks of 150 tuples.
+    let rows = 1_500_000usize;
+    let col: Vec<u32> = (0..rows).map(|r| ((r * 2654435761) % 2000) as u32).collect();
+    let t = Table::new(Schema::new(vec![AttrDef::new("z", 2000)]), vec![col]);
+    let layout = BlockLayout::new(rows, 150);
+    let nb = layout.num_blocks();
+    (BitmapIndex::build(&t, 0, &layout), nb)
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let (idx, nb) = bitmap_fixture();
+    c.bench_function("bitmap_probe_algorithm2_style", |b| {
+        // per-block, per-candidate probing of 64 active candidates
+        let active: Vec<u32> = (0..64).map(|i| i * 31).collect();
+        b.iter(|| {
+            let mut hits = 0u32;
+            for blk in 0..256usize {
+                for &cand in &active {
+                    if idx.block_has(cand, blk) {
+                        hits += 1;
+                        break;
+                    }
+                }
+            }
+            hits
+        })
+    });
+    c.bench_function("bitmap_mark_lookahead_algorithm3_style", |b| {
+        let active: Vec<u32> = (0..64).map(|i| i * 31).collect();
+        let mut marks = vec![false; 1024];
+        b.iter(|| {
+            marks.iter_mut().for_each(|m| *m = false);
+            for &cand in &active {
+                idx.mark_active_range(cand, black_box(nb / 2), &mut marks);
+            }
+            marks.iter().filter(|&&m| m).count()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_hypergeometric, bench_deviation, bench_distance, bench_holm_bonferroni, bench_bitmap
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! **Table 2** — dataset descriptions.
+//!
+//! Prints the synthetic datasets' size / tuple count / attribute count
+//! next to the paper's original values so the scale substitution is
+//! explicit.
+
+use fastmatch_bench::report::render_table;
+use fastmatch_bench::BenchEnv;
+use fastmatch_data::datasets::DatasetId;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!("== Table 2: dataset descriptions (synthetic analogues) ==\n");
+    let paper = [
+        ("FLIGHTS", "32 GiB", "606 million", 7, "5x"),
+        ("TAXI", "36 GiB", "679 million", 7, "4x"),
+        ("POLICE", "34 GiB", "448 million", 10, "72x"),
+    ];
+    let mut rows = Vec::new();
+    for id in DatasetId::all() {
+        let t = id.generate(env.rows, env.seed);
+        let p = paper.iter().find(|r| r.0 == id.name()).unwrap();
+        rows.push(vec![
+            id.name().to_string(),
+            format!("{:.1} MiB", t.size_bytes() as f64 / (1024.0 * 1024.0)),
+            format!("{}", t.n_rows()),
+            format!("{}", t.schema().len()),
+            format!("{} / {} / {}", p.1, p.2, p.3),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Dataset",
+                "Size",
+                "#Tuples",
+                "#Attributes",
+                "Paper (size / tuples / attrs)"
+            ],
+            &rows
+        )
+    );
+    println!("(paper replication factors: FLIGHTS 5x, TAXI 4x, POLICE 72x; here scale is FASTMATCH_ROWS)");
+}

@@ -1,0 +1,51 @@
+//! ASCII rendering of histograms, used by the Figure 2/3 illustration
+//! harness and the examples.
+
+/// Renders a histogram as horizontal bars, one line per bin, scaled to
+/// `width` characters at the maximum bin.
+pub fn render_histogram(title: &str, counts: &[u64], width: usize) -> String {
+    let max = counts.iter().copied().max().unwrap_or(0).max(1);
+    let mut out = format!("{title}\n");
+    for (i, &c) in counts.iter().enumerate() {
+        let bar = (c as f64 / max as f64 * width as f64).round() as usize;
+        out.push_str(&format!("{i:>4} | {:<width$} {c}\n", "#".repeat(bar)));
+    }
+    out
+}
+
+/// Renders a normalized histogram (probability vector) the same way.
+pub fn render_distribution(title: &str, probs: &[f64], width: usize) -> String {
+    let max = probs.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
+    let mut out = format!("{title}\n");
+    for (i, &p) in probs.iter().enumerate() {
+        let bar = (p / max * width as f64).round() as usize;
+        out.push_str(&format!("{i:>4} | {:<width$} {p:.4}\n", "#".repeat(bar)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let s = render_histogram("t", &[1, 2, 4], 8);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[3].contains("########"));
+        assert!(lines[1].contains("##"));
+        assert!(!lines[1].contains("###"));
+    }
+
+    #[test]
+    fn empty_histogram_renders() {
+        let s = render_histogram("t", &[0, 0], 8);
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn distribution_renders() {
+        let s = render_distribution("d", &[0.25, 0.75], 4);
+        assert!(s.contains("0.7500"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # fastmatch-bench
+//!
+//! Shared machinery for the experiment harnesses that regenerate every
+//! table and figure of the FastMatch evaluation (§5). Each harness is a
+//! `harness = false` bench target (see `benches/`), so `cargo bench`
+//! reproduces the full evaluation; scale knobs come from the environment:
+//!
+//! * `FASTMATCH_ROWS` — rows per synthetic dataset (default 1,500,000);
+//! * `FASTMATCH_RUNS` — repetitions averaged per measurement (default 3);
+//! * `FASTMATCH_SWEEP_RUNS` — repetitions inside parameter sweeps
+//!   (default 2);
+//! * `FASTMATCH_SEED` — base RNG seed (default 42).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod ascii;
+pub mod env;
+pub mod report;
+pub mod runner;
+pub mod workload;
+
+pub use env::BenchEnv;
+pub use runner::{measure, Measured};
+pub use workload::{Prepared, Workload};

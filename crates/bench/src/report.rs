@@ -1,0 +1,100 @@
+//! Plain-text table/series rendering for experiment output.
+
+/// Renders an aligned text table: a header row plus data rows. Column
+/// widths adapt to content; the first column is left-aligned, the rest
+/// right-aligned (matching the paper's table style).
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            if i == 0 {
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            } else {
+                line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            }
+        }
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a figure as one labelled series per line:
+/// `label: (x1, y1) (x2, y2) …` — the textual equivalent of the paper's
+/// line plots.
+pub fn render_series(title: &str, x_label: &str, series: &[(String, Vec<(f64, f64)>)]) -> String {
+    let mut out = format!("{title}\n  x = {x_label}\n");
+    for (label, points) in series {
+        out.push_str(&format!("  {label:<28}"));
+        for (x, y) in points {
+            out.push_str(&format!(" ({x:.4}, {y:.4})"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a duration in seconds with millisecond resolution.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["query", "speedup"],
+            &[
+                vec!["flights-q1".into(), "37.52x".into()],
+                vec!["t-q2".into(), "17.38x".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("query"));
+        assert!(lines[2].contains("flights-q1"));
+        // right alignment of numeric column
+        assert!(lines[2].ends_with("37.52x"));
+    }
+
+    #[test]
+    fn series_renders_points() {
+        let s = render_series(
+            "Figure 8",
+            "epsilon",
+            &[("fastmatch".into(), vec![(0.02, 1.5), (0.04, 0.8)])],
+        );
+        assert!(s.contains("(0.0200, 1.5000)"));
+        assert!(s.contains("fastmatch"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn ragged_rows_panic() {
+        render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

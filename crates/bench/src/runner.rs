@@ -1,0 +1,113 @@
+//! Repeated-run measurement of executors, with guarantee validation and
+//! the §5.3 Δd accuracy metric.
+
+use std::time::Duration;
+
+use fastmatch_core::histsim::HistSimConfig;
+use fastmatch_engine::exec::Executor;
+use fastmatch_engine::result::MatchOutput;
+
+use crate::workload::{Prepared, Workload};
+
+/// Aggregate over repeated runs of one executor on one query.
+#[derive(Debug)]
+pub struct Measured {
+    /// Mean wall-clock time.
+    pub avg_wall: Duration,
+    /// Mean blocks read.
+    pub avg_blocks_read: f64,
+    /// Mean blocks skipped.
+    pub avg_blocks_skipped: f64,
+    /// Mean Δd (total relative error in visual distance).
+    pub avg_delta_d: f64,
+    /// Runs violating Guarantee 1 or 2.
+    pub violations: u64,
+    /// Number of runs.
+    pub runs: u64,
+    /// Mean stage-2 rounds.
+    pub avg_rounds: f64,
+    /// The last run's output (for inspection).
+    pub last: MatchOutput,
+}
+
+/// Runs `exec` `runs` times with distinct seeds and aggregates.
+pub fn measure(
+    w: &Workload,
+    p: &Prepared,
+    cfg: &HistSimConfig,
+    exec: &dyn Executor,
+    runs: u64,
+    seed_base: u64,
+) -> Measured {
+    assert!(runs >= 1);
+    let mut total_wall = Duration::ZERO;
+    let mut blocks_read = 0u64;
+    let mut blocks_skipped = 0u64;
+    let mut delta_d = 0.0;
+    let mut violations = 0u64;
+    let mut rounds = 0u64;
+    let mut last = None;
+    for r in 0..runs {
+        let job = w.job(p, cfg.clone());
+        let out = exec
+            .run(&job, seed_base.wrapping_add(r).wrapping_mul(0x9e3779b9))
+            .unwrap_or_else(|e| panic!("{} failed on {}: {e}", exec.name(), p.spec.id));
+        total_wall += out.stats.wall;
+        blocks_read += out.stats.io.blocks_read;
+        blocks_skipped += out.stats.io.blocks_skipped;
+        rounds += out.stats.stage2_rounds as u64;
+        delta_d += p.truth.delta_d(&out.output.matches, cfg.sigma);
+        let sep = p
+            .truth
+            .check_separation(&out.candidate_ids(), cfg.epsilon, cfg.sigma);
+        let rec = p
+            .truth
+            .check_reconstruction(&out.output.matches, cfg.eps_reconstruction());
+        if !(sep && rec) {
+            violations += 1;
+        }
+        last = Some(out);
+    }
+    Measured {
+        avg_wall: total_wall / runs as u32,
+        avg_blocks_read: blocks_read as f64 / runs as f64,
+        avg_blocks_skipped: blocks_skipped as f64 / runs as f64,
+        avg_delta_d: delta_d / runs as f64,
+        violations,
+        runs,
+        avg_rounds: rounds as f64 / runs as f64,
+        last: last.expect("at least one run"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::BenchEnv;
+    use crate::workload::Workload;
+    use fastmatch_data::datasets::DatasetId;
+    use fastmatch_data::queries::all_queries;
+    use fastmatch_engine::exec::ScanExec;
+
+    #[test]
+    fn measure_scan_has_no_violations() {
+        let env = BenchEnv {
+            rows: 30_000,
+            runs: 2,
+            sweep_runs: 1,
+            seed: 5,
+        };
+        let queries: Vec<_> = all_queries()
+            .into_iter()
+            .filter(|q| q.dataset == DatasetId::Flights)
+            .take(1)
+            .collect();
+        let w = Workload::prepare(env, &queries);
+        let p = w.prepare_query(&queries[0]);
+        let cfg = w.default_config(&p);
+        let m = measure(&w, &p, &cfg, &ScanExec, 2, 1);
+        assert_eq!(m.violations, 0);
+        assert_eq!(m.runs, 2);
+        assert!(m.avg_delta_d.abs() < 1e-9);
+    }
+}

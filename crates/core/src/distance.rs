@@ -1,0 +1,179 @@
+//! Distance metrics between normalized histograms.
+//!
+//! The paper's primary metric (Definition 2) is the ℓ1 distance between
+//! normalized count vectors, which corresponds to twice the total variation
+//! distance between the underlying discrete distributions. ℓ2 and
+//! KL-divergence are provided for the comparisons of §2.1 and Table 5.
+
+/// The distance metric used to compare a candidate with the target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// `‖p − q‖₁` over normalized vectors — the paper's default.
+    L1,
+    /// `‖p − q‖₂` over normalized vectors (used by SeeDB / Sample+Seek).
+    L2,
+    /// Total variation distance `½‖p − q‖₁`.
+    TotalVariation,
+    /// KL divergence `KL(p ‖ q)`; infinite whenever `q` places zero mass
+    /// where `p` does not (the drawback §2.1 calls out).
+    KlDivergence,
+}
+
+impl Metric {
+    /// Evaluates the metric between two normalized vectors of equal length.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn eval(&self, p: &[f64], q: &[f64]) -> f64 {
+        assert_eq!(p.len(), q.len(), "distance between unequal-length vectors");
+        match self {
+            Metric::L1 => l1(p, q),
+            Metric::L2 => l2(p, q),
+            Metric::TotalVariation => 0.5 * l1(p, q),
+            Metric::KlDivergence => kl(p, q),
+        }
+    }
+
+    /// The largest possible value of the metric over probability vectors,
+    /// used to initialize "unknown" distances so unseen candidates sort last.
+    pub fn upper_limit(&self) -> f64 {
+        match self {
+            Metric::L1 => 2.0,
+            Metric::L2 => 2.0_f64.sqrt(),
+            Metric::TotalVariation => 1.0,
+            Metric::KlDivergence => f64::INFINITY,
+        }
+    }
+
+    /// Human-readable short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::L1 => "l1",
+            Metric::L2 => "l2",
+            Metric::TotalVariation => "tv",
+            Metric::KlDivergence => "kl",
+        }
+    }
+}
+
+/// `‖p − q‖₁`.
+pub fn l1(p: &[f64], q: &[f64]) -> f64 {
+    p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum()
+}
+
+/// `‖p − q‖₂`.
+pub fn l2(p: &[f64], q: &[f64]) -> f64 {
+    p.iter()
+        .zip(q)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// `KL(p ‖ q) = Σ pᵢ ln(pᵢ / qᵢ)`, with the conventions `0 ln(0/q) = 0`
+/// and `p ln(p/0) = ∞` for `p > 0`.
+pub fn kl(p: &[f64], q: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi == 0.0 {
+            continue;
+        }
+        if qi == 0.0 {
+            return f64::INFINITY;
+        }
+        acc += pi * (pi / qi).ln();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let p = [0.25, 0.25, 0.5];
+        for m in [
+            Metric::L1,
+            Metric::L2,
+            Metric::TotalVariation,
+            Metric::KlDivergence,
+        ] {
+            assert!(m.eval(&p, &p).abs() < EPS, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn l1_of_disjoint_support_is_two() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((l1(&p, &q) - 2.0).abs() < EPS);
+        assert!((Metric::TotalVariation.eval(&p, &q) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn l2_can_be_small_for_disjoint_support() {
+        // §2.1's argument against ℓ2: spread mass over many bins with
+        // disjoint support and ℓ2 shrinks while ℓ1 stays at 2.
+        let n = 200;
+        let mut p = vec![0.0; 2 * n];
+        let mut q = vec![0.0; 2 * n];
+        for i in 0..n {
+            p[i] = 1.0 / n as f64;
+            q[n + i] = 1.0 / n as f64;
+        }
+        assert!((l1(&p, &q) - 2.0).abs() < EPS);
+        assert!(l2(&p, &q) < 0.2, "l2 = {}", l2(&p, &q));
+    }
+
+    #[test]
+    fn kl_is_infinite_on_unmatched_support() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert!(kl(&p, &q).is_infinite());
+        // ...but not the other way around when p has the zero.
+        assert!(kl(&q, &p).is_finite());
+    }
+
+    #[test]
+    fn metrics_are_symmetric_except_kl() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.3, 0.3, 0.4];
+        assert!((l1(&p, &q) - l1(&q, &p)).abs() < EPS);
+        assert!((l2(&p, &q) - l2(&q, &p)).abs() < EPS);
+        assert!((kl(&p, &q) - kl(&q, &p)).abs() > 1e-6);
+    }
+
+    #[test]
+    fn triangle_inequality_l1() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.3, 0.3, 0.4];
+        let r = [0.1, 0.8, 0.1];
+        assert!(l1(&p, &r) <= l1(&p, &q) + l1(&q, &r) + EPS);
+    }
+
+    #[test]
+    fn upper_limits_are_attained_or_bounding() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!(l1(&p, &q) <= Metric::L1.upper_limit() + EPS);
+        assert!(l2(&p, &q) <= Metric::L2.upper_limit() + EPS);
+        assert!(Metric::KlDivergence.upper_limit().is_infinite());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Metric::L1.name(), "l1");
+        assert_eq!(Metric::L2.name(), "l2");
+        assert_eq!(Metric::TotalVariation.name(), "tv");
+        assert_eq!(Metric::KlDivergence.name(), "kl");
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal-length")]
+    fn unequal_lengths_panic() {
+        Metric::L1.eval(&[1.0], &[0.5, 0.5]);
+    }
+}

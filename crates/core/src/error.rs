@@ -1,0 +1,74 @@
+//! Error types shared across the core crate.
+
+use std::fmt;
+
+/// Errors produced by HistSim configuration or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A configuration parameter was outside its valid domain.
+    InvalidConfig(String),
+    /// The target histogram was empty or had a zero total count.
+    InvalidTarget(String),
+    /// A sample referenced a candidate or group outside the declared domain.
+    SampleOutOfDomain {
+        /// Candidate index of the offending sample.
+        candidate: u32,
+        /// Group index of the offending sample.
+        group: u32,
+    },
+    /// An operation was invoked in a phase where it is not legal
+    /// (e.g. ingesting samples after the algorithm finished).
+    PhaseViolation(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::InvalidTarget(msg) => write!(f, "invalid target: {msg}"),
+            CoreError::SampleOutOfDomain { candidate, group } => write!(
+                f,
+                "sample out of domain: candidate {candidate}, group {group}"
+            ),
+            CoreError::PhaseViolation(msg) => write!(f, "phase violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = CoreError::InvalidConfig("k must be positive".into());
+        assert!(e.to_string().contains("k must be positive"));
+        let e = CoreError::SampleOutOfDomain {
+            candidate: 3,
+            group: 9,
+        };
+        assert!(e.to_string().contains("candidate 3"));
+        assert!(e.to_string().contains("group 9"));
+        let e = CoreError::InvalidTarget("empty".into());
+        assert!(e.to_string().contains("empty"));
+        let e = CoreError::PhaseViolation("done".into());
+        assert!(e.to_string().contains("done"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            CoreError::InvalidConfig("x".into()),
+            CoreError::InvalidConfig("x".into())
+        );
+        assert_ne!(
+            CoreError::InvalidConfig("x".into()),
+            CoreError::InvalidTarget("x".into())
+        );
+    }
+}

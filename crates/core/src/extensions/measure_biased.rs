@@ -1,0 +1,168 @@
+//! Measure-biased sampling for SUM aggregations (Appendix A.1.1).
+//!
+//! To match bar charts produced by `SELECT X, SUM(Y) … GROUP BY X`, the
+//! paper (following Sample+Seek) preprocesses a *measure-biased sample*:
+//! tuples are included with probability proportional to their `Y` value,
+//! after which the COUNT-based machinery applies unchanged — the expected
+//! per-group count of the biased sample is proportional to the group's
+//! exact SUM.
+//!
+//! We implement the weighted sampling step with the Efraimidis–Spirakis
+//! exponential-key method: assign each tuple the key `ln(u)/wᵢ`
+//! (`u ~ U(0,1)`) and keep the `m` largest keys. This draws a weighted
+//! sample *without replacement* in one pass and `O(n log m)` time.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A `(key, index)` pair ordered by key ascending so the binary heap pops
+/// the *smallest* key (we keep the m largest keys overall).
+#[derive(Debug, PartialEq)]
+struct HeapItem {
+    key: f64,
+    index: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want to evict the smallest.
+        other
+            .key
+            .partial_cmp(&self.key)
+            .expect("keys are never NaN")
+    }
+}
+
+/// Draws `m` indices without replacement with probability proportional to
+/// `weights` (Efraimidis–Spirakis A-Res). Zero-weight tuples are never
+/// selected; if fewer than `m` tuples have positive weight, all of them are
+/// returned.
+///
+/// # Panics
+/// Panics if any weight is negative or non-finite.
+pub fn weighted_sample_without_replacement(
+    weights: &[f64],
+    m: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(m + 1);
+    for (i, &w) in weights.iter().enumerate() {
+        assert!(w.is_finite() && w >= 0.0, "weights must be finite and ≥ 0");
+        if w == 0.0 || m == 0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let key = u.ln() / w; // larger is better (closer to 0)
+        if heap.len() < m {
+            heap.push(HeapItem { key, index: i });
+        } else if let Some(worst) = heap.peek() {
+            if key > worst.key {
+                heap.pop();
+                heap.push(HeapItem { key, index: i });
+            }
+        }
+    }
+    let mut out: Vec<usize> = heap.into_iter().map(|h| h.index).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Expands a weighted table into a measure-biased sample of `(candidate,
+/// group)` tuples, ready for COUNT-based HistSim: tuple `t` is included
+/// w.p. ∝ `weights[t]`, so per-group counts of the result estimate the
+/// per-group SUM proportions of the input.
+pub fn measure_biased_tuples(
+    tuples: &[(u32, u32)],
+    weights: &[f64],
+    m: usize,
+    seed: u64,
+) -> Vec<(u32, u32)> {
+    assert_eq!(tuples.len(), weights.len());
+    weighted_sample_without_replacement(weights, m, seed)
+        .into_iter()
+        .map(|i| tuples[i])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_size_is_respected() {
+        let w = vec![1.0; 100];
+        let s = weighted_sample_without_replacement(&w, 10, 1);
+        assert_eq!(s.len(), 10);
+        // without replacement: all distinct
+        let mut d = s.clone();
+        d.dedup();
+        assert_eq!(d.len(), 10);
+    }
+
+    #[test]
+    fn zero_weights_are_never_selected() {
+        let mut w = vec![0.0; 50];
+        w[7] = 1.0;
+        w[13] = 1.0;
+        let s = weighted_sample_without_replacement(&w, 10, 2);
+        assert_eq!(s, vec![7, 13]);
+    }
+
+    #[test]
+    fn m_zero_returns_empty() {
+        assert!(weighted_sample_without_replacement(&[1.0, 2.0], 0, 3).is_empty());
+    }
+
+    #[test]
+    fn heavier_weights_are_selected_more_often() {
+        // tuple 0 has weight 10, tuple 1 has weight 1: over many seeds,
+        // drawing m=1 should pick tuple 0 ≈ 10/11 of the time.
+        let w = [10.0, 1.0];
+        let mut hits = 0;
+        let trials = 2000;
+        for seed in 0..trials {
+            let s = weighted_sample_without_replacement(&w, 1, seed);
+            if s == vec![0] {
+                hits += 1;
+            }
+        }
+        let frac = hits as f64 / trials as f64;
+        assert!((frac - 10.0 / 11.0).abs() < 0.03, "frac = {frac}");
+    }
+
+    #[test]
+    fn biased_sample_estimates_sum_proportions() {
+        // Two groups; group 0 tuples carry weight 9, group 1 weight 1,
+        // equal tuple counts. SUM proportions are (0.9, 0.1); the biased
+        // sample's COUNT proportions should approximate that.
+        let n = 20_000usize;
+        let mut tuples = Vec::new();
+        let mut weights = Vec::new();
+        for i in 0..n {
+            let g = (i % 2) as u32;
+            tuples.push((0u32, g));
+            weights.push(if g == 0 { 9.0 } else { 1.0 });
+        }
+        let sample = measure_biased_tuples(&tuples, &weights, 5_000, 123);
+        let g0 = sample.iter().filter(|t| t.1 == 0).count() as f64;
+        let frac = g0 / sample.len() as f64;
+        assert!((frac - 0.9).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be finite")]
+    fn negative_weight_panics() {
+        weighted_sample_without_replacement(&[1.0, -2.0], 1, 0);
+    }
+}

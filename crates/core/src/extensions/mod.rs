@@ -1,0 +1,54 @@
+//! Appendix A extensions of HistSim.
+//!
+//! Most of the Appendix A generalizations are configuration-driven and
+//! live directly in the core algorithm:
+//!
+//! | Extension | Paper section | Where |
+//! |---|---|---|
+//! | Distinct ε₁/ε₂ for the two guarantees | A.2.1 | [`crate::HistSimConfig::epsilon_reconstruction`] |
+//! | ℓ2 distance with its own deviation bound | A.2.2 | [`crate::Metric::L2`] + [`crate::stats::deviation::DeviationBound::L2`] |
+//! | Range of k `[k₁, k₂]` | A.2.3 | [`crate::HistSimConfig::k_range`] + [`crate::topk::choose_k_in_range`] |
+//! | Unknown candidate domain (dummy candidate) | A.1.5 | [`crate::HistSimConfig::test_unseen_mass`] |
+//! | Multiple GROUP BY attributes | A.1.3 | [`support_of_multiple_attributes`] |
+//! | SUM aggregations via measure-biased sampling | A.1.1 | [`measure_biased`] |
+//!
+//! Boolean-predicate candidates (A.1.2) and continuous binning (A.1.4 /
+//! A.1.6) are storage-level concerns: see `fastmatch-store`'s `predicate`,
+//! `density` and `binning` modules.
+
+pub mod measure_biased;
+
+/// Appendix A.1.3: the support size to use in Theorem 1 when grouping by
+/// several attributes `X⁽¹⁾…X⁽ⁿ⁾` is the product of their cardinalities.
+/// This may overestimate (if some value combinations never co-occur), which
+/// only loosens the bound — correctness is unaffected.
+///
+/// Saturates at `usize::MAX` on overflow.
+pub fn support_of_multiple_attributes(cardinalities: &[usize]) -> usize {
+    cardinalities
+        .iter()
+        .copied()
+        .try_fold(1usize, |acc, c| acc.checked_mul(c))
+        .unwrap_or(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_of_cardinalities() {
+        assert_eq!(support_of_multiple_attributes(&[24]), 24);
+        assert_eq!(support_of_multiple_attributes(&[24, 7]), 168);
+        assert_eq!(support_of_multiple_attributes(&[2, 3, 5]), 30);
+        assert_eq!(support_of_multiple_attributes(&[]), 1);
+    }
+
+    #[test]
+    fn overflow_saturates() {
+        assert_eq!(
+            support_of_multiple_attributes(&[usize::MAX, 2]),
+            usize::MAX
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Validators for the paper's two correctness guarantees, evaluated
+//! against exact ground truth. Used by tests and by the §5.4 experiment
+//! that counts guarantee violations across repeated runs.
+
+use crate::distance::Metric;
+use crate::histogram::Histogram;
+use crate::histsim::MatchedCandidate;
+use crate::topk::k_smallest_indices;
+
+/// Exact per-candidate histograms plus the normalized target — everything
+/// needed to decide whether an approximate output was correct.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    exact: Vec<Histogram>,
+    target: Vec<f64>,
+    metric: Metric,
+    n_total: u64,
+    true_tau: Vec<f64>,
+}
+
+impl GroundTruth {
+    /// Builds ground truth from exact per-candidate count vectors.
+    pub fn new(exact: Vec<Histogram>, target: Vec<f64>, metric: Metric) -> Self {
+        let n_total = exact.iter().map(|h| h.total()).sum();
+        let true_tau = exact
+            .iter()
+            .map(|h| match h.normalized() {
+                Ok(p) => metric.eval(&p, &target),
+                Err(_) => metric.upper_limit().min(f64::MAX),
+            })
+            .collect();
+        GroundTruth {
+            exact,
+            target,
+            metric,
+            n_total,
+            true_tau,
+        }
+    }
+
+    /// Builds ground truth directly from `(candidate, group)` tuples.
+    pub fn from_tuples(
+        tuples: impl IntoIterator<Item = (u32, u32)>,
+        num_candidates: usize,
+        groups: usize,
+        target: Vec<f64>,
+        metric: Metric,
+    ) -> Self {
+        let mut hists = vec![Histogram::zeros(groups); num_candidates];
+        for (c, g) in tuples {
+            hists[c as usize].record(g as usize);
+        }
+        Self::new(hists, target, metric)
+    }
+
+    /// Exact distances `τ*ᵢ`.
+    pub fn true_distances(&self) -> &[f64] {
+        &self.true_tau
+    }
+
+    /// Exact selectivity `Nᵢ/N` of a candidate.
+    pub fn selectivity(&self, c: u32) -> f64 {
+        self.exact[c as usize].total() as f64 / self.n_total as f64
+    }
+
+    /// The exact histograms.
+    pub fn histograms(&self) -> &[Histogram] {
+        &self.exact
+    }
+
+    /// The normalized target `q̄` the truth was computed against.
+    pub fn target(&self) -> &[f64] {
+        &self.target
+    }
+
+    /// Total number of tuples `N`.
+    pub fn total_rows(&self) -> u64 {
+        self.n_total
+    }
+
+    /// The true top-k among candidates meeting the selectivity threshold —
+    /// what an exact `Scan(σ)` would return.
+    pub fn true_topk(&self, k: usize, sigma: f64) -> Vec<u32> {
+        let eligible: Vec<bool> = (0..self.exact.len())
+            .map(|c| self.selectivity(c as u32) >= sigma)
+            .collect();
+        k_smallest_indices(&self.true_tau, k, &eligible)
+            .into_iter()
+            .map(|i| i as u32)
+            .collect()
+    }
+
+    /// **Guarantee 1 (separation)**: every candidate outside the output
+    /// with selectivity ≥ σ must be less than ε closer to the target than
+    /// the furthest output member:
+    /// `max_{l ∈ out} τ*_l − τ*_i < ε  ∨  Nᵢ/N < σ`.
+    pub fn check_separation(&self, output_ids: &[u32], epsilon: f64, sigma: f64) -> bool {
+        let in_out: Vec<bool> = {
+            let mut v = vec![false; self.exact.len()];
+            for &c in output_ids {
+                v[c as usize] = true;
+            }
+            v
+        };
+        let max_out = output_ids
+            .iter()
+            .map(|&c| self.true_tau[c as usize])
+            .fold(f64::NEG_INFINITY, f64::max);
+        if !max_out.is_finite() {
+            // Empty output satisfies separation only when no candidate
+            // meets the selectivity threshold.
+            return (0..self.exact.len() as u32).all(|c| self.selectivity(c) < sigma);
+        }
+        (0..self.exact.len()).all(|i| {
+            in_out[i]
+                || self.selectivity(i as u32) < sigma
+                || max_out - self.true_tau[i] < epsilon
+        })
+    }
+
+    /// **Guarantee 2 (reconstruction)**: every output histogram must be
+    /// within ε of its exact counterpart: `d(rᵢ, r*ᵢ) < ε`.
+    pub fn check_reconstruction(&self, matches: &[MatchedCandidate], epsilon: f64) -> bool {
+        matches.iter().all(|m| {
+            let est = match m.histogram.normalized() {
+                Ok(p) => p,
+                Err(_) => return false,
+            };
+            let exact = match self.exact[m.candidate as usize].normalized() {
+                Ok(p) => p,
+                Err(_) => return false,
+            };
+            self.metric.eval(&est, &exact) < epsilon
+        })
+    }
+
+    /// The §5.3 *total relative error in visual distance*:
+    ///
+    /// ```text
+    /// Δd(M, M*, q) = (Σ_{i∈M} d(rᵢ, q) − Σ_{j∈M*} d(r*ⱼ, q)) / Σ_{j∈M*} d(r*ⱼ, q)
+    /// ```
+    ///
+    /// where the numerator's first sum uses the *returned estimates*
+    /// (so Δd can be negative, as the paper notes).
+    pub fn delta_d(&self, matches: &[MatchedCandidate], sigma: f64) -> f64 {
+        let k = matches.len();
+        let star = self.true_topk(k, sigma);
+        let sum_star: f64 = star.iter().map(|&c| self.true_tau[c as usize]).sum();
+        let sum_out: f64 = matches.iter().map(|m| m.distance).sum();
+        if sum_star == 0.0 {
+            return if sum_out == 0.0 { 0.0 } else { f64::INFINITY };
+        }
+        (sum_out - sum_star) / sum_star
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt_3cand() -> GroundTruth {
+        // τ* against uniform [0.5, 0.5]: c0 = 0.0, c1 = 0.5, c2 = 1.0
+        let hists = vec![
+            Histogram::from_counts(vec![50, 50]),
+            Histogram::from_counts(vec![75, 25]),
+            Histogram::from_counts(vec![100, 0]),
+        ];
+        GroundTruth::new(hists, vec![0.5, 0.5], Metric::L1)
+    }
+
+    #[test]
+    fn true_distances_and_topk() {
+        let gt = gt_3cand();
+        let d = gt.true_distances();
+        assert!((d[0] - 0.0).abs() < 1e-12);
+        assert!((d[1] - 0.5).abs() < 1e-12);
+        assert!((d[2] - 1.0).abs() < 1e-12);
+        assert_eq!(gt.true_topk(2, 0.0), vec![0, 1]);
+    }
+
+    #[test]
+    fn selectivity_is_fractional() {
+        let gt = gt_3cand();
+        assert!((gt.selectivity(0) - 100.0 / 300.0).abs() < 1e-12);
+        assert_eq!(gt.total_rows(), 300);
+    }
+
+    #[test]
+    fn separation_accepts_correct_output() {
+        let gt = gt_3cand();
+        assert!(gt.check_separation(&[0, 1], 0.01, 0.0));
+    }
+
+    #[test]
+    fn separation_rejects_bad_swap() {
+        let gt = gt_3cand();
+        // Output {0, 2} misses candidate 1 which is 0.5 closer than
+        // candidate 2 — a violation for ε < 0.5.
+        assert!(!gt.check_separation(&[0, 2], 0.3, 0.0));
+        // ...but fine for a very loose ε.
+        assert!(gt.check_separation(&[0, 2], 0.6, 0.0));
+    }
+
+    #[test]
+    fn separation_respects_sigma_escape() {
+        // candidate 1 is rare: excluding it is allowed under σ.
+        let hists = vec![
+            Histogram::from_counts(vec![5000, 5000]),
+            Histogram::from_counts(vec![3, 3]), // rare perfect match
+            Histogram::from_counts(vec![9000, 1000]),
+        ];
+        let gt = GroundTruth::new(hists, vec![0.5, 0.5], Metric::L1);
+        // Output = {0, 2}, missing the rare candidate 1 (τ* = 0).
+        assert!(!gt.check_separation(&[0, 2], 0.2, 0.0));
+        assert!(gt.check_separation(&[0, 2], 0.2, 0.001));
+    }
+
+    #[test]
+    fn empty_output_separation() {
+        let gt = gt_3cand();
+        assert!(!gt.check_separation(&[], 0.1, 0.0));
+        // With σ = 1.0 nothing qualifies, so empty output is fine.
+        assert!(gt.check_separation(&[], 0.1, 1.0));
+    }
+
+    #[test]
+    fn reconstruction_checks_distance_to_exact() {
+        let gt = gt_3cand();
+        let good = MatchedCandidate {
+            candidate: 0,
+            distance: 0.0,
+            histogram: Histogram::from_counts(vec![49, 51]),
+            samples: 100,
+        };
+        assert!(gt.check_reconstruction(std::slice::from_ref(&good), 0.1));
+        let bad = MatchedCandidate {
+            candidate: 0,
+            distance: 0.0,
+            histogram: Histogram::from_counts(vec![90, 10]),
+            samples: 100,
+        };
+        assert!(!gt.check_reconstruction(&[bad], 0.1));
+        // Empty estimate can never be reconstruction-correct.
+        let empty = MatchedCandidate {
+            candidate: 0,
+            distance: 0.0,
+            histogram: Histogram::zeros(2),
+            samples: 0,
+        };
+        assert!(!gt.check_reconstruction(&[empty], 0.1));
+    }
+
+    #[test]
+    fn delta_d_zero_for_perfect_output() {
+        let gt = gt_3cand();
+        let matches = vec![
+            MatchedCandidate {
+                candidate: 0,
+                distance: 0.0,
+                histogram: Histogram::from_counts(vec![50, 50]),
+                samples: 100,
+            },
+            MatchedCandidate {
+                candidate: 1,
+                distance: 0.5,
+                histogram: Histogram::from_counts(vec![75, 25]),
+                samples: 100,
+            },
+        ];
+        assert!(gt.delta_d(&matches, 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_d_positive_for_worse_output() {
+        let gt = gt_3cand();
+        let matches = vec![
+            MatchedCandidate {
+                candidate: 0,
+                distance: 0.0,
+                histogram: Histogram::from_counts(vec![50, 50]),
+                samples: 100,
+            },
+            MatchedCandidate {
+                candidate: 2,
+                distance: 1.0,
+                histogram: Histogram::from_counts(vec![100, 0]),
+                samples: 100,
+            },
+        ];
+        // true top-2 sum = 0.5; output sum = 1.0 ⇒ Δd = 1.0
+        assert!((gt.delta_d(&matches, 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_tuples_matches_manual_counts() {
+        let gt = GroundTruth::from_tuples(
+            vec![(0, 0), (0, 1), (1, 0)],
+            2,
+            2,
+            vec![0.5, 0.5],
+            Metric::L1,
+        );
+        assert_eq!(gt.histograms()[0].counts(), &[1, 1]);
+        assert_eq!(gt.histograms()[1].counts(), &[1, 0]);
+    }
+}

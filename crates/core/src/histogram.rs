@@ -1,0 +1,183 @@
+//! Histogram representation: raw per-group counts plus normalization.
+//!
+//! In the paper's terminology (Definition 1), a *candidate visualization* is
+//! the vector of grouped counts `(r1, …, rn)` produced by a
+//! histogram-generating query. Distances are always taken between
+//! *normalized* histograms (Definition 2), so this module provides both the
+//! raw-count representation and its normalization into a discrete
+//! probability distribution.
+
+use crate::error::{CoreError, Result};
+
+/// A histogram of raw per-group counts.
+///
+/// The `i`-th entry is the number of tuples whose grouping attribute takes
+/// the `i`-th value of `V_X`. Groups never observed simply stay zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an all-zero histogram with `groups` bins.
+    pub fn zeros(groups: usize) -> Self {
+        Histogram {
+            counts: vec![0; groups],
+        }
+    }
+
+    /// Wraps an existing count vector.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        Histogram { counts }
+    }
+
+    /// Number of bins (`|V_X|`).
+    pub fn groups(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total mass `1ᵀ r` — the number of samples that contributed.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Records one observation of group `g`.
+    pub fn record(&mut self, g: usize) {
+        self.counts[g] += 1;
+    }
+
+    /// Adds another histogram bin-wise. Panics if bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+    }
+
+    /// Normalizes into a probability vector `r̄ = r / 1ᵀr`.
+    ///
+    /// Returns an error for an empty histogram (zero total), whose
+    /// normalization — and therefore whose distance to any target — is
+    /// undefined.
+    pub fn normalized(&self) -> Result<Vec<f64>> {
+        let total = self.total();
+        if total == 0 {
+            return Err(CoreError::InvalidTarget(
+                "cannot normalize a histogram with zero total count".into(),
+            ));
+        }
+        let inv = 1.0 / total as f64;
+        Ok(self.counts.iter().map(|&c| c as f64 * inv).collect())
+    }
+
+    /// Resets all bins to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+/// Normalizes an arbitrary non-negative weight vector into a probability
+/// vector. Used for user-specified targets that are given as shapes rather
+/// than counts (e.g. FLIGHTS-q3's explicit target in Table 3).
+pub fn normalize_weights(weights: &[f64]) -> Result<Vec<f64>> {
+    if weights.is_empty() {
+        return Err(CoreError::InvalidTarget("empty target vector".into()));
+    }
+    if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+        return Err(CoreError::InvalidTarget(
+            "target weights must be finite and non-negative".into(),
+        ));
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Err(CoreError::InvalidTarget(
+            "target weights must have positive total".into(),
+        ));
+    }
+    Ok(weights.iter().map(|w| w / total).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_zero_total() {
+        let h = Histogram::zeros(5);
+        assert_eq!(h.groups(), 5);
+        assert_eq!(h.total(), 0);
+        assert!(h.normalized().is_err());
+    }
+
+    #[test]
+    fn record_and_total() {
+        let mut h = Histogram::zeros(3);
+        h.record(0);
+        h.record(2);
+        h.record(2);
+        assert_eq!(h.counts(), &[1, 0, 2]);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn normalization_sums_to_one() {
+        let h = Histogram::from_counts(vec![1, 3, 4]);
+        let p = h.normalized().unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((p[0] - 0.125).abs() < 1e-12);
+        assert!((p[1] - 0.375).abs() < 1e-12);
+        assert!((p[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_is_scale_invariant() {
+        // The motivation for normalization (paper Figure 3): two histograms
+        // that differ only by a scale factor normalize identically.
+        let a = Histogram::from_counts(vec![2, 4, 6]);
+        let b = Histogram::from_counts(vec![200, 400, 600]);
+        for (x, y) in a
+            .normalized()
+            .unwrap()
+            .iter()
+            .zip(b.normalized().unwrap())
+        {
+            assert!((x - y).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn merge_adds_binwise() {
+        let mut a = Histogram::from_counts(vec![1, 2]);
+        let b = Histogram::from_counts(vec![10, 20]);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[11, 22]);
+    }
+
+    #[test]
+    fn clear_resets_counts() {
+        let mut a = Histogram::from_counts(vec![1, 2]);
+        a.clear();
+        assert_eq!(a.counts(), &[0, 0]);
+        assert_eq!(a.groups(), 2);
+    }
+
+    #[test]
+    fn normalize_weights_happy_path() {
+        let p = normalize_weights(&[1.0, 1.0, 2.0]).unwrap();
+        assert_eq!(p, vec![0.25, 0.25, 0.5]);
+    }
+
+    #[test]
+    fn normalize_weights_rejects_bad_input() {
+        assert!(normalize_weights(&[]).is_err());
+        assert!(normalize_weights(&[0.0, 0.0]).is_err());
+        assert!(normalize_weights(&[1.0, -0.5]).is_err());
+        assert!(normalize_weights(&[f64::NAN]).is_err());
+        assert!(normalize_weights(&[f64::INFINITY]).is_err());
+    }
+}

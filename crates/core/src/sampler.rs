@@ -1,0 +1,317 @@
+//! A reference in-memory driver for [`HistSim`].
+//!
+//! [`MemorySampler`] holds the full list of `(candidate, group)` tuples,
+//! shuffles it once (the paper's "randomly permute upfront" preprocessing,
+//! §4.2 Challenge 1) and then feeds HistSim by scanning the permutation —
+//! a faithful miniature of the `ScanMatch` executor. It is used by unit and
+//! property tests, examples, and anywhere the full storage engine would be
+//! overkill.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::Result;
+use crate::histsim::{HistSim, HistSimOutput, PhaseKind};
+
+/// One sampled tuple: the candidate it belongs to (`Z` code) and its group
+/// (`X` code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Candidate (dictionary code of the `Z` attribute value).
+    pub candidate: u32,
+    /// Group (dictionary code of the `X` attribute value).
+    pub group: u32,
+}
+
+/// In-memory sampling driver: a shuffled tuple list consumed sequentially,
+/// without replacement.
+#[derive(Debug, Clone)]
+pub struct MemorySampler {
+    tuples: Vec<Sample>,
+    /// Exact per-candidate tuple totals, used to mark candidates exact once
+    /// fully consumed.
+    totals: Vec<u64>,
+    seen: Vec<u64>,
+    pos: usize,
+}
+
+impl MemorySampler {
+    /// Builds a sampler over the given tuples for a domain of
+    /// `num_candidates` candidates, shuffling with the given seed.
+    pub fn new(mut tuples: Vec<Sample>, num_candidates: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        tuples.shuffle(&mut rng);
+        let mut totals = vec![0u64; num_candidates];
+        for t in &tuples {
+            totals[t.candidate as usize] += 1;
+        }
+        MemorySampler {
+            tuples,
+            totals,
+            seen: vec![0; num_candidates],
+            pos: 0,
+        }
+    }
+
+    /// Total number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the tuple list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Exact tuple count for one candidate (ground truth; useful in tests).
+    pub fn candidate_total(&self, c: u32) -> u64 {
+        self.totals[c as usize]
+    }
+
+    /// Drives the given HistSim run to completion and returns its output.
+    ///
+    /// Tuples are consumed in permutation order across all stages, so no
+    /// tuple is ever ingested twice. Candidates whose tuples are fully
+    /// consumed are marked exact; if the whole permutation is consumed
+    /// while demand is still open, HistSim is finished in exact mode.
+    pub fn run(&mut self, hs: &mut HistSim) -> Result<HistSimOutput> {
+        while !hs.is_done() {
+            // I/O phase: feed tuples until the demand is met or we run dry.
+            while !hs.io_satisfied() && self.pos < self.tuples.len() {
+                let t = self.tuples[self.pos];
+                self.pos += 1;
+                hs.ingest(t.candidate, t.group);
+                let c = t.candidate as usize;
+                self.seen[c] += 1;
+                if self.seen[c] == self.totals[c] {
+                    hs.mark_exact(t.candidate);
+                }
+            }
+            // In per-candidate phases, candidates that can never be
+            // satisfied from the remaining data must be marked exact. In
+            // this sequential driver that only happens at full exhaustion.
+            let exhausted = !hs.io_satisfied() && self.pos >= self.tuples.len();
+            if matches!(hs.phase(), PhaseKind::Done) {
+                break;
+            }
+            hs.complete_io_phase(exhausted)?;
+        }
+        hs.output()
+    }
+}
+
+/// Convenience: builds tuples from per-candidate histograms given as count
+/// vectors (`hists[c][g]` tuples with candidate `c` and group `g`).
+pub fn tuples_from_histograms(hists: &[Vec<u64>]) -> Vec<Sample> {
+    let mut tuples = Vec::new();
+    for (c, h) in hists.iter().enumerate() {
+        for (g, &count) in h.iter().enumerate() {
+            for _ in 0..count {
+                tuples.push(Sample {
+                    candidate: c as u32,
+                    group: g as u32,
+                });
+            }
+        }
+    }
+    tuples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histsim::HistSimConfig;
+
+    fn run_once(
+        hists: &[Vec<u64>],
+        target: &[f64],
+        cfg: HistSimConfig,
+        seed: u64,
+    ) -> HistSimOutput {
+        let tuples = tuples_from_histograms(hists);
+        let n = tuples.len() as u64;
+        let groups = hists[0].len();
+        let mut sampler = MemorySampler::new(tuples, hists.len(), seed);
+        let mut hs = HistSim::new(cfg, hists.len(), groups, n, target).unwrap();
+        sampler.run(&mut hs).unwrap()
+    }
+
+    #[test]
+    fn tuples_from_histograms_counts() {
+        let t = tuples_from_histograms(&[vec![2, 1], vec![0, 3]]);
+        assert_eq!(t.len(), 6);
+        assert_eq!(
+            t.iter().filter(|s| s.candidate == 0 && s.group == 0).count(),
+            2
+        );
+        assert_eq!(
+            t.iter().filter(|s| s.candidate == 1 && s.group == 1).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn finds_the_obvious_match_small_data() {
+        // Three candidates; candidate 1 matches the target exactly.
+        let hists = vec![
+            vec![90, 10, 0, 0], // far
+            vec![25, 25, 25, 25], // exact match to uniform target
+            vec![0, 0, 50, 50], // far
+        ];
+        let cfg = HistSimConfig {
+            k: 1,
+            epsilon: 0.3,
+            delta: 0.05,
+            sigma: 0.0,
+            stage1_samples: 30,
+            ..HistSimConfig::default()
+        };
+        let out = run_once(&hists, &[0.25; 4], cfg, 7);
+        assert_eq!(out.candidate_ids(), vec![1]);
+    }
+
+    #[test]
+    fn small_data_terminates_exactly() {
+        // Demands exceed tiny data: every candidate ends up fully consumed
+        // (marked exact), so the answer is decided from exact counts and
+        // must equal the true top-k.
+        let hists = vec![vec![10, 0], vec![6, 4], vec![5, 5]];
+        let cfg = HistSimConfig {
+            k: 1,
+            epsilon: 0.01, // very tight: forces full consumption
+            delta: 0.01,
+            sigma: 0.0,
+            stage1_samples: 10,
+            ..HistSimConfig::default()
+        };
+        let out = run_once(&hists, &[0.5, 0.5], cfg, 3);
+        assert_eq!(out.candidate_ids(), vec![2]);
+        // Every sample of the table was ingested.
+        assert_eq!(out.diagnostics.total_samples, 30);
+    }
+
+    #[test]
+    fn larger_synthetic_run_identifies_topk() {
+        // 20 candidates, 2 designed matches near the target, the rest far.
+        let mut hists = Vec::new();
+        for c in 0..20usize {
+            let h = match c {
+                3 => vec![500, 500, 500, 500], // exact uniform
+                7 => vec![520, 480, 510, 490], // near uniform
+                _ => {
+                    // peaked on bin c % 4
+                    let mut h = vec![50u64; 4];
+                    h[c % 4] = 1850;
+                    h
+                }
+            };
+            hists.push(h);
+        }
+        let cfg = HistSimConfig {
+            k: 2,
+            epsilon: 0.15,
+            delta: 0.05,
+            sigma: 0.0,
+            stage1_samples: 2_000,
+            ..HistSimConfig::default()
+        };
+        let out = run_once(&hists, &[0.25; 4], cfg, 42);
+        let mut ids = out.candidate_ids();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![3, 7]);
+    }
+
+    #[test]
+    fn different_seeds_agree_on_clear_instances() {
+        let mut hists = Vec::new();
+        for c in 0..10usize {
+            let h = if c == 4 {
+                vec![300, 300, 300]
+            } else {
+                let mut h = vec![30u64; 3];
+                h[c % 3] = 840;
+                h
+            };
+            hists.push(h);
+        }
+        for seed in 0..5u64 {
+            let cfg = HistSimConfig {
+                k: 1,
+                epsilon: 0.2,
+                delta: 0.05,
+                sigma: 0.0,
+                stage1_samples: 500,
+                ..HistSimConfig::default()
+            };
+            let out = run_once(&hists, &[1.0, 1.0, 1.0], cfg, seed);
+            assert_eq!(out.candidate_ids(), vec![4], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sigma_prunes_rare_candidates() {
+        // Candidate 2 is a perfect match but holds a vanishing fraction of
+        // the data; with a selectivity threshold it may be pruned, and the
+        // output falls back to the best sufficiently-frequent candidate.
+        let mut hists = vec![
+            vec![30_000, 10_000], // common, skewed
+            vec![22_000, 18_000], // common, mildly skewed
+            vec![5, 5],           // rare, perfect match to uniform
+        ];
+        // pad with more skewed common candidates
+        for _ in 0..5 {
+            hists.push(vec![35_000, 5_000]);
+        }
+        let cfg = HistSimConfig {
+            k: 1,
+            epsilon: 0.1,
+            delta: 0.05,
+            sigma: 0.01,
+            stage1_samples: 20_000,
+            ..HistSimConfig::default()
+        };
+        let out = run_once(&hists, &[0.5, 0.5], cfg, 11);
+        assert_eq!(out.candidate_ids(), vec![1]);
+        assert!(out.diagnostics.pruned_candidates >= 1);
+    }
+
+    #[test]
+    fn exhausted_sampler_is_still_correct() {
+        let hists = vec![vec![3, 3], vec![4, 2]];
+        let cfg = HistSimConfig {
+            k: 1,
+            epsilon: 0.001,
+            delta: 0.01,
+            sigma: 0.0,
+            stage1_samples: 5,
+            ..HistSimConfig::default()
+        };
+        let out = run_once(&hists, &[0.5, 0.5], cfg, 0);
+        assert_eq!(out.candidate_ids(), vec![0]);
+        assert_eq!(out.diagnostics.total_samples, 12);
+    }
+
+    #[test]
+    fn stage1_exhaustion_reports_exact_finish() {
+        // stage1_samples exceeds the table: the sampler runs dry inside
+        // stage 1 and HistSim must finish via the exact path.
+        let hists = vec![vec![3, 3], vec![4, 2]];
+        let cfg = HistSimConfig {
+            k: 1,
+            epsilon: 0.5,
+            delta: 0.01,
+            sigma: 0.0,
+            stage1_samples: 500,
+            ..HistSimConfig::default()
+        };
+        let tuples = tuples_from_histograms(&hists);
+        let mut sampler = MemorySampler::new(tuples, 2, 9);
+        // Lie about the table size so the stage-1 goal (clamped to N)
+        // stays above what the sampler can deliver.
+        let mut hs = HistSim::new(cfg, 2, 2, 100, &[0.5, 0.5]).unwrap();
+        let out = sampler.run(&mut hs).unwrap();
+        assert!(out.diagnostics.exact_finish);
+        assert_eq!(out.candidate_ids(), vec![0]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Deviation bounds relating sample counts to reconstruction error.
+//!
+//! Theorem 1 of the paper: after `n` samples of candidate `i`'s histogram
+//! over `|V_X|` groups, the empirical normalized histogram `r̄ᵢ` satisfies
+//! `‖r̄ᵢ − r̄*ᵢ‖₁ < ε` with probability `> 1 − δ` for
+//!
+//! ```text
+//! ε = sqrt( (2/n) · (|V_X|·ln 2 + ln(1/δ)) )
+//! ```
+//!
+//! This is the information-theoretically optimal ℓ1 learning rate for
+//! discrete distributions; the proof unions a McDiarmid inequality over all
+//! `2^{|V_X|}` sign functions. The bound transfers unchanged to sampling
+//! without replacement (Hoeffding 1963 / Bardenet–Maillard 2015), which is
+//! how the engine actually samples.
+//!
+//! The three faces of the bound used by HistSim:
+//! * [`DeviationBound::epsilon`] — stage-3 error after `n` samples;
+//! * [`DeviationBound::samples_needed`] — the engine's per-round target
+//!   `n′ᵢ` (Eq. 1 in §4.2) and the stage-3 sample count;
+//! * [`DeviationBound::ln_pvalue`] — stage-2 P-values
+//!   `δᵢ = 2^{|V_X|}·exp(−εᵢ²·n/2)` (§3.4.3; computed in log space since
+//!   `2^{|V_X|}` overflows `f64` already at `|V_X| ≥ 1024`).
+//!
+//! An ℓ2 analogue (Appendix A.2.2) is provided: by McDiarmid on the
+//! 1-Lipschitz-in-each-sample function `‖r̄ − r̄*‖₂` with bounded differences
+//! `2/n` and `E‖r̄ − r̄*‖₂ ≤ 1/√n`, we get
+//! `P(‖r̄ − r̄*‖₂ ≥ 1/√n + t) ≤ exp(−t²n/2)`.
+
+/// Which concentration bound drives sampling decisions and P-values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviationBound {
+    /// Theorem 1: ℓ1 bound with the `2^{|V_X|}` union term.
+    L1 {
+        /// Number of groups `|V_X|` of the histograms being estimated.
+        groups: usize,
+    },
+    /// Appendix A.2.2: dimension-free ℓ2 bound.
+    L2,
+}
+
+impl DeviationBound {
+    /// The additive log-term `|V_X|·ln 2 + ln(1/δ)` (ℓ1) or `ln(1/δ)` (ℓ2).
+    fn ln_term(&self, delta: f64) -> f64 {
+        match self {
+            DeviationBound::L1 { groups } => {
+                *groups as f64 * std::f64::consts::LN_2 + (1.0 / delta).ln()
+            }
+            DeviationBound::L2 => (1.0 / delta).ln(),
+        }
+    }
+
+    /// The deviation `ε` guaranteed with probability `> 1 − δ` after `n`
+    /// samples. Returns `+∞` for `n = 0`.
+    pub fn epsilon(&self, n: u64, delta: f64) -> f64 {
+        assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+        if n == 0 {
+            return f64::INFINITY;
+        }
+        match self {
+            DeviationBound::L1 { .. } => (2.0 / n as f64 * self.ln_term(delta)).sqrt(),
+            DeviationBound::L2 => {
+                (1.0 / (n as f64).sqrt()) + (2.0 / n as f64 * self.ln_term(delta)).sqrt()
+            }
+        }
+    }
+
+    /// The number of samples needed so that the ε-deviation holds with
+    /// probability `> 1 − δ` (solving [`Self::epsilon`] for `n`).
+    pub fn samples_needed(&self, eps: f64, delta: f64) -> u64 {
+        assert!(eps > 0.0, "epsilon must be positive");
+        assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+        match self {
+            DeviationBound::L1 { .. } => {
+                (2.0 * self.ln_term(delta) / (eps * eps)).ceil() as u64
+            }
+            DeviationBound::L2 => {
+                // Solve 1/√n + sqrt(2 ln(1/δ)/n) ≤ ε  ⇔  n ≥ ((1 + √(2L))/ε)²
+                let root = 1.0 + (2.0 * self.ln_term(delta)).sqrt();
+                ((root / eps) * (root / eps)).ceil() as u64
+            }
+        }
+    }
+
+    /// Log of the P-value upper bound `P(d(r∂ᵢ, r*ᵢ) > ε)` after `n` fresh
+    /// samples. For ℓ1 this is `|V_X|·ln 2 − ε²n/2` (clamped to ≤ 0); for ℓ2
+    /// the mean term `1/√n` is subtracted from ε first.
+    ///
+    /// `ε ≤ 0` means the observed statistic fell on the null's side, so the
+    /// test carries no evidence: the P-value is 1 (`ln = 0`).
+    pub fn ln_pvalue(&self, eps: f64, n: u64) -> f64 {
+        if n == 0 || eps <= 0.0 {
+            return 0.0; // P-value 1
+        }
+        let ln_p = match self {
+            DeviationBound::L1 { groups } => {
+                *groups as f64 * std::f64::consts::LN_2 - eps * eps * n as f64 / 2.0
+            }
+            DeviationBound::L2 => {
+                let t = eps - 1.0 / (n as f64).sqrt();
+                if t <= 0.0 {
+                    return 0.0;
+                }
+                -t * t * n as f64 / 2.0
+            }
+        };
+        ln_p.min(0.0)
+    }
+
+    /// P-value upper bound in linear space (may underflow to 0 — that is
+    /// fine, it only makes the simultaneous test accept sooner and the bound
+    /// is an upper bound anyway).
+    pub fn pvalue(&self, eps: f64, n: u64) -> f64 {
+        self.ln_pvalue(eps, n).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L1_24: DeviationBound = DeviationBound::L1 { groups: 24 };
+
+    #[test]
+    fn epsilon_and_samples_needed_are_inverse() {
+        for &eps in &[0.02, 0.04, 0.08, 0.2] {
+            for &delta in &[0.001, 0.01, 0.1] {
+                let n = L1_24.samples_needed(eps, delta);
+                // With n samples the guaranteed deviation is ≤ ε...
+                assert!(L1_24.epsilon(n, delta) <= eps + 1e-12);
+                // ...and with one fewer it is > ε (ceil tightness).
+                assert!(L1_24.epsilon(n - 1, delta) > eps);
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_shrinks_with_samples() {
+        let mut prev = f64::INFINITY;
+        for n in [1u64, 10, 100, 1_000, 10_000] {
+            let e = L1_24.epsilon(n, 0.01);
+            assert!(e < prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn zero_samples_give_infinite_epsilon_and_unit_pvalue() {
+        assert!(L1_24.epsilon(0, 0.01).is_infinite());
+        assert_eq!(L1_24.pvalue(0.5, 0), 1.0);
+    }
+
+    #[test]
+    fn nonpositive_eps_gives_unit_pvalue() {
+        assert_eq!(L1_24.pvalue(0.0, 100), 1.0);
+        assert_eq!(L1_24.pvalue(-0.3, 100), 1.0);
+    }
+
+    #[test]
+    fn pvalue_matches_paper_formula() {
+        // δᵢ = 2^{|V_X|} exp(−ε² n / 2)
+        let eps = 0.1;
+        let n = 50_000u64;
+        let expected = (24.0 * std::f64::consts::LN_2 - eps * eps * n as f64 / 2.0).exp();
+        assert!((L1_24.pvalue(eps, n) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pvalue_is_clamped_to_one() {
+        // small n, large |V_X|: raw bound exceeds 1
+        let b = DeviationBound::L1 { groups: 351 };
+        assert_eq!(b.pvalue(0.01, 10), 1.0);
+    }
+
+    #[test]
+    fn huge_group_count_does_not_overflow() {
+        // 2^2110 overflows f64; the log-space path must stay finite.
+        let b = DeviationBound::L1 { groups: 2110 };
+        let lp = b.ln_pvalue(0.05, 10_000_000);
+        assert!(lp.is_finite());
+        assert!(lp < 0.0);
+    }
+
+    #[test]
+    fn samples_needed_matches_eq1_scale() {
+        // Eq. 1: n′ = 2(|V_X| ln2 − ln δ)/ε². Spot-check one value by hand:
+        // |V_X| = 24, δ = 1/300, ε = 0.02 ⇒ 2(16.6355 + 5.7038)/0.0004 ≈ 111_697
+        let n = L1_24.samples_needed(0.02, 1.0 / 300.0);
+        assert!((n as f64 - 111_696.0).abs() < 10.0, "n = {n}");
+    }
+
+    #[test]
+    fn l2_bound_is_dimension_free_and_consistent() {
+        let l2 = DeviationBound::L2;
+        let n = l2.samples_needed(0.1, 0.01);
+        assert!(l2.epsilon(n, 0.01) <= 0.1 + 1e-12);
+        // ℓ2 needs far fewer samples than ℓ1 at high dimension, same ε/δ.
+        let l1 = DeviationBound::L1 { groups: 351 };
+        assert!(n < l1.samples_needed(0.1, 0.01));
+    }
+
+    #[test]
+    fn l2_pvalue_handles_mean_term() {
+        let l2 = DeviationBound::L2;
+        // ε below the 1/√n mean term carries no evidence.
+        assert_eq!(l2.pvalue(0.009, 10_000), 1.0);
+        // ε above it does.
+        assert!(l2.pvalue(0.1, 10_000) < 1.0);
+    }
+
+    #[test]
+    fn monotone_pvalues_in_n_and_eps() {
+        let mut prev = 1.0;
+        for n in [100u64, 1_000, 10_000, 100_000] {
+            let p = L1_24.pvalue(0.08, n);
+            assert!(p <= prev + 1e-15);
+            prev = p;
+        }
+        let mut prev = 1.0;
+        for eps in [0.01, 0.05, 0.1, 0.5] {
+            let p = L1_24.pvalue(eps, 20_000);
+            assert!(p <= prev + 1e-15);
+            prev = p;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must lie in (0, 1)")]
+    fn invalid_delta_panics() {
+        L1_24.epsilon(10, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn invalid_eps_panics() {
+        L1_24.samples_needed(0.0, 0.01);
+    }
+}

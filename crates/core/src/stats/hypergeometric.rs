@@ -1,0 +1,235 @@
+//! Hypergeometric distribution and the stage-1 underrepresentation test.
+//!
+//! After drawing `m` tuples uniformly at random **without replacement** from
+//! a table of `N` tuples, the number of tuples belonging to a candidate with
+//! `Nᵢ` total tuples follows `HypGeo(N, Nᵢ, m)` (paper §3.3). Stage 1 tests
+//! the null hypothesis "candidate i is *not* rare", i.e. `Nᵢ ≥ ⌈σN⌉`, via
+//! the one-sided P-value
+//!
+//! ```text
+//! P(X ≤ nᵢ)  where  X ~ HypGeo(N, ⌈σN⌉, m)
+//! ```
+//!
+//! — the probability of seeing `nᵢ` or fewer tuples for the candidate if it
+//! actually met the selectivity threshold. Small P-value ⇒ we are surprised
+//! ⇒ the candidate is declared rare and pruned.
+//!
+//! Following the paper's complexity note (§3.5 "Computational Complexity"),
+//! [`underrepresentation_pvalues`] shares work across candidates: the pmf is
+//! evaluated once along a prefix recurrence up to `max nᵢ` rather than once
+//! per `(candidate, j)` pair.
+
+use crate::stats::special::{ln_add_exp, ln_binomial};
+
+/// Log-pmf `ln f(j; N, K, m)` of the hypergeometric distribution:
+/// `f(j) = C(K, j) · C(N−K, m−j) / C(N, m)`.
+///
+/// Returns `-∞` outside the support `max(0, m−(N−K)) ≤ j ≤ min(K, m)`.
+pub fn ln_pmf(j: u64, n_total: u64, k_success: u64, m_draws: u64) -> f64 {
+    assert!(k_success <= n_total, "K must be ≤ N");
+    assert!(m_draws <= n_total, "m must be ≤ N");
+    if j > k_success || m_draws < j || m_draws - j > n_total - k_success {
+        return f64::NEG_INFINITY;
+    }
+    ln_binomial(k_success, j) + ln_binomial(n_total - k_success, m_draws - j)
+        - ln_binomial(n_total, m_draws)
+}
+
+/// Pmf `f(j; N, K, m)`.
+pub fn pmf(j: u64, n_total: u64, k_success: u64, m_draws: u64) -> f64 {
+    ln_pmf(j, n_total, k_success, m_draws).exp()
+}
+
+/// Lower CDF `P(X ≤ j)` computed by direct stable summation in log space.
+pub fn cdf_lower(j: u64, n_total: u64, k_success: u64, m_draws: u64) -> f64 {
+    let mut ln_acc = f64::NEG_INFINITY;
+    let lo = support_lo(n_total, k_success, m_draws);
+    if j < lo {
+        return 0.0;
+    }
+    let hi = j.min(k_success).min(m_draws);
+    // Seed with the lowest support point, then use the pmf ratio recurrence:
+    // f(j+1)/f(j) = (K−j)(m−j) / ((j+1)(N−K−m+j+1))
+    let mut ln_f = ln_pmf(lo, n_total, k_success, m_draws);
+    ln_acc = ln_add_exp(ln_acc, ln_f);
+    let mut jj = lo;
+    while jj < hi {
+        let num = (k_success - jj) as f64 * (m_draws - jj) as f64;
+        // Reassociated to stay non-negative in u64: jj ≥ support lo ⇒
+        // n_total + jj + 1 ≥ k_success + m_draws + 1.
+        let den = (jj + 1) as f64 * (n_total + jj + 1 - k_success - m_draws) as f64;
+        ln_f += num.ln() - den.ln();
+        ln_acc = ln_add_exp(ln_acc, ln_f);
+        jj += 1;
+    }
+    ln_acc.exp().min(1.0)
+}
+
+fn support_lo(n_total: u64, k_success: u64, m_draws: u64) -> u64 {
+    m_draws.saturating_sub(n_total - k_success)
+}
+
+/// Computes, for every candidate `i` with observed sample count `n_is[i]`,
+/// the underrepresentation P-value `Σ_{j=0}^{nᵢ} f(j; N, ⌈σN⌉, m)`.
+///
+/// Work is shared across candidates: the prefix CDF is evaluated once up to
+/// `max nᵢ` (clamped to the support), so the total cost is
+/// `O(max nᵢ + |V_Z|)` rather than `O(Σ nᵢ)`.
+pub fn underrepresentation_pvalues(
+    n_is: &[u64],
+    n_total: u64,
+    sigma: f64,
+    m_draws: u64,
+) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&sigma), "sigma must lie in [0, 1]");
+    let k_success = (sigma * n_total as f64).ceil() as u64;
+    if k_success == 0 {
+        // σ = 0: no candidate can be underrepresented; P-value 1 for all.
+        return vec![1.0; n_is.len()];
+    }
+    let max_n = n_is.iter().copied().max().unwrap_or(0);
+    let hi = max_n.min(k_success).min(m_draws);
+    let lo = support_lo(n_total, k_success, m_draws);
+
+    // prefix[j] = ln P(X ≤ lo + j)
+    let mut prefix = Vec::with_capacity((hi.saturating_sub(lo) + 1) as usize);
+    let mut ln_f = ln_pmf(lo, n_total, k_success, m_draws);
+    let mut ln_acc = ln_f;
+    prefix.push(ln_acc);
+    let mut j = lo;
+    while j < hi {
+        let num = (k_success - j) as f64 * (m_draws - j) as f64;
+        let den = (j + 1) as f64 * (n_total + j + 1 - k_success - m_draws) as f64;
+        ln_f += num.ln() - den.ln();
+        ln_acc = ln_add_exp(ln_acc, ln_f);
+        prefix.push(ln_acc);
+        j += 1;
+    }
+
+    n_is
+        .iter()
+        .map(|&ni| {
+            if ni < lo {
+                0.0
+            } else {
+                let idx = (ni.min(hi) - lo) as usize;
+                prefix[idx].exp().min(1.0)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    /// Exact pmf via 128-bit rational arithmetic for small instances.
+    fn exact_pmf(j: u64, n: u64, k: u64, m: u64) -> f64 {
+        fn choose(n: u64, k: u64) -> f64 {
+            if k > n {
+                return 0.0;
+            }
+            let mut acc = 1.0f64;
+            for i in 0..k {
+                acc *= (n - i) as f64 / (i + 1) as f64;
+            }
+            acc
+        }
+        choose(k, j) * choose(n - k, m - j) / choose(n, m)
+    }
+
+    #[test]
+    fn pmf_matches_exact_small_cases() {
+        for &(n, k, m) in &[(20u64, 7u64, 12u64), (10, 5, 5), (50, 3, 10)] {
+            for j in 0..=m.min(k) {
+                assert_close(pmf(j, n, k, m), exact_pmf(j, n, k, m), 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let (n, k, m) = (100u64, 30u64, 40u64);
+        let total: f64 = (0..=m).map(|j| pmf(j, n, k, m)).sum();
+        assert_close(total, 1.0, 1e-9);
+    }
+
+    #[test]
+    fn pmf_is_zero_outside_support() {
+        // N=10, K=4, m=8 ⇒ support is [2, 4]
+        assert_eq!(pmf(0, 10, 4, 8), 0.0);
+        assert_eq!(pmf(1, 10, 4, 8), 0.0);
+        assert!(pmf(2, 10, 4, 8) > 0.0);
+        assert!(pmf(4, 10, 4, 8) > 0.0);
+        assert_eq!(pmf(5, 10, 4, 8), 0.0);
+    }
+
+    #[test]
+    fn cdf_lower_matches_partial_sums() {
+        let (n, k, m) = (60u64, 20u64, 25u64);
+        let mut acc = 0.0;
+        for j in 0..=m.min(k) {
+            acc += exact_pmf(j, n, k, m);
+            assert_close(cdf_lower(j, n, k, m), acc.min(1.0), 1e-9);
+        }
+        assert_close(cdf_lower(m, n, k, m), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn cdf_lower_below_support_is_zero() {
+        // N=10, K=6, m=8 ⇒ support low = 4
+        assert_eq!(cdf_lower(3, 10, 6, 8), 0.0);
+    }
+
+    #[test]
+    fn shared_pvalues_match_individual_cdfs() {
+        let n_total = 10_000u64;
+        let sigma = 0.01; // K = 100
+        let m = 1_000u64;
+        let n_is = vec![0u64, 1, 3, 7, 10, 15, 30, 100];
+        let shared = underrepresentation_pvalues(&n_is, n_total, sigma, m);
+        let k = (sigma * n_total as f64).ceil() as u64;
+        for (i, &ni) in n_is.iter().enumerate() {
+            assert_close(shared[i], cdf_lower(ni, n_total, k, m), 1e-9);
+        }
+    }
+
+    #[test]
+    fn truly_rare_candidates_get_small_pvalues() {
+        // A candidate with few observed samples in a large draw is surprising
+        // under the "not rare" null.
+        let p = underrepresentation_pvalues(&[0, 500], 1_000_000, 0.001, 500_000);
+        // Expected count under the null is ~500; observing 0 is essentially
+        // impossible, observing exactly the mean is not surprising.
+        assert!(p[0] < 1e-50, "p = {}", p[0]);
+        assert!(p[1] > 0.4, "p = {}", p[1]);
+    }
+
+    #[test]
+    fn sigma_zero_never_flags_anyone() {
+        let p = underrepresentation_pvalues(&[0, 1, 2], 1000, 0.0, 100);
+        assert_eq!(p, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn pvalues_are_monotone_in_observed_count() {
+        let n_is: Vec<u64> = (0..50).collect();
+        let p = underrepresentation_pvalues(&n_is, 100_000, 0.005, 10_000);
+        for w in p.windows(2) {
+            assert!(w[0] <= w[1] + 1e-15);
+        }
+    }
+
+    #[test]
+    fn large_scale_stability() {
+        // Paper-scale: N = 600M, σ = 0.0008 (K = 480k), m = 500k.
+        let p = underrepresentation_pvalues(&[0, 100, 400, 1000], 600_000_000, 0.0008, 500_000);
+        assert!(p[0] >= 0.0 && p[0] < 1e-100);
+        assert!(p[3] > 0.99); // expected count 400, so 1000 is not surprising
+        assert!(p.iter().all(|x| x.is_finite()));
+    }
+}

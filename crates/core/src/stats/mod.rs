@@ -1,0 +1,14 @@
+//! Statistical machinery backing HistSim.
+//!
+//! * [`special`] — log-gamma / log-factorial / log-binomial primitives;
+//! * [`hypergeometric`] — the stage-1 underrepresentation test;
+//! * [`deviation`] — the Theorem 1 ℓ1 deviation bound (and an ℓ2 analogue
+//!   for the Appendix A.2.2 extension);
+//! * [`holm_bonferroni`] — family-wise error control for stage 1;
+//! * [`simultaneous`] — the Lemma 4 all-or-nothing tester for stage 2.
+
+pub mod deviation;
+pub mod holm_bonferroni;
+pub mod hypergeometric;
+pub mod simultaneous;
+pub mod special;

@@ -1,0 +1,94 @@
+//! The Lemma 4 all-or-nothing simultaneous tester.
+//!
+//! Stage 2 of HistSim needs to reject an *entire family* of null hypotheses
+//! at once — the separation guarantee only follows when every null is false.
+//! Lemma 4 shows that the tester
+//!
+//! ```text
+//! reject all  ⇔  max_i pᵢ ≤ δ_upper
+//! ```
+//!
+//! rejects one or more *true* nulls with probability at most `δ_upper`
+//! (this is the union–intersection method expressed in P-values). Unlike
+//! Holm–Bonferroni it cannot reject a strict subset, which is exactly what
+//! stage 2 wants: either the whole top-k split is certified or the round
+//! continues.
+
+/// Decision of the simultaneous tester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Every null hypothesis is rejected: the round's split is certified.
+    RejectAll,
+    /// At least one P-value exceeded the level: nothing is rejected.
+    RejectNone,
+}
+
+/// Applies the Lemma 4 tester: rejects **all** hypotheses iff every P-value
+/// is at most `level`. An empty family trivially rejects (there is nothing
+/// to certify — used when `A \ M` is empty).
+pub fn simultaneous_test<I>(pvalues: I, level: f64) -> Decision
+where
+    I: IntoIterator<Item = f64>,
+{
+    assert!(level > 0.0, "level must be positive");
+    let mut worst = f64::NEG_INFINITY;
+    for p in pvalues {
+        assert!(!p.is_nan(), "P-values must not be NaN");
+        if p > worst {
+            worst = p;
+        }
+    }
+    if worst == f64::NEG_INFINITY || worst <= level {
+        Decision::RejectAll
+    } else {
+        Decision::RejectNone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_small_rejects() {
+        assert_eq!(
+            simultaneous_test([0.001, 0.0005, 0.002], 0.0033),
+            Decision::RejectAll
+        );
+    }
+
+    #[test]
+    fn one_large_blocks_everything() {
+        assert_eq!(
+            simultaneous_test([0.001, 0.9, 0.0001], 0.0033),
+            Decision::RejectNone
+        );
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        assert_eq!(simultaneous_test([0.01], 0.01), Decision::RejectAll);
+    }
+
+    #[test]
+    fn empty_family_rejects_vacuously() {
+        assert_eq!(
+            simultaneous_test(std::iter::empty::<f64>(), 0.01),
+            Decision::RejectAll
+        );
+    }
+
+    #[test]
+    fn zero_pvalues_always_reject() {
+        assert_eq!(
+            simultaneous_test([0.0, 0.0], 1e-300),
+            Decision::RejectAll
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_panics() {
+        simultaneous_test([f64::NAN], 0.01);
+    }
+}

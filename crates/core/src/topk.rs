@@ -1,0 +1,108 @@
+//! Small selection utilities used by HistSim: picking the k smallest
+//! distances, and the Appendix A.2.3 adaptive choice of `k` from a range.
+
+/// Returns the indices of the `k` smallest values among the eligible
+/// entries, in ascending value order. Fewer than `k` eligible entries
+/// returns all of them. Ties are broken by index for determinism.
+pub fn k_smallest_indices(values: &[f64], k: usize, eligible: &[bool]) -> Vec<usize> {
+    assert_eq!(values.len(), eligible.len());
+    let mut idx: Vec<usize> = (0..values.len()).filter(|&i| eligible[i]).collect();
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("distances must not be NaN")
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Appendix A.2.3: given a permitted range `[k_lo, k_hi]` for the number of
+/// matches, chooses the `k` that maximizes the distance gap
+/// `τ₍ₖ₊₁₎ − τ₍ₖ₎` between the k-th and (k+1)-th closest candidates, which
+/// makes the stage-2 separation test as easy as possible.
+///
+/// `sorted_tau` must be ascending. When the range is degenerate or the
+/// candidate list is too short, the choice is clamped sensibly.
+pub fn choose_k_in_range(sorted_tau: &[f64], k_lo: usize, k_hi: usize) -> usize {
+    assert!(k_lo >= 1 && k_lo <= k_hi, "need 1 ≤ k_lo ≤ k_hi");
+    let n = sorted_tau.len();
+    if n == 0 {
+        return k_lo;
+    }
+    let hi = k_hi.min(n.saturating_sub(1)).max(k_lo.min(n));
+    let lo = k_lo.min(hi);
+    let mut best_k = lo;
+    let mut best_gap = f64::NEG_INFINITY;
+    for k in lo..=hi {
+        if k >= n {
+            // No (k+1)-th candidate: the gap is effectively infinite.
+            return k;
+        }
+        let gap = sorted_tau[k] - sorted_tau[k - 1];
+        if gap > best_gap {
+            best_gap = gap;
+            best_k = k;
+        }
+    }
+    best_k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_smallest_in_order() {
+        let v = [5.0, 1.0, 3.0, 2.0];
+        let all = [true; 4];
+        assert_eq!(k_smallest_indices(&v, 2, &all), vec![1, 3]);
+        assert_eq!(k_smallest_indices(&v, 10, &all), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn respects_eligibility() {
+        let v = [5.0, 1.0, 3.0, 2.0];
+        let elig = [true, false, true, true];
+        assert_eq!(k_smallest_indices(&v, 2, &elig), vec![3, 2]);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let v = [2.0, 1.0, 1.0, 1.0];
+        let all = [true; 4];
+        assert_eq!(k_smallest_indices(&v, 2, &all), vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_eligible_gives_empty() {
+        let v = [1.0, 2.0];
+        assert!(k_smallest_indices(&v, 1, &[false, false]).is_empty());
+    }
+
+    #[test]
+    fn choose_k_maximizes_gap() {
+        // gaps after k=5..7: τ has a big jump between the 7th and 8th entry
+        let tau = [0.1, 0.12, 0.13, 0.14, 0.15, 0.16, 0.17, 0.9, 0.91, 0.92];
+        assert_eq!(choose_k_in_range(&tau, 5, 10), 7);
+    }
+
+    #[test]
+    fn choose_k_clamps_to_candidate_count() {
+        let tau = [0.1, 0.2, 0.3];
+        // asking for 5..10 matches with 3 candidates: return something ≤ 3
+        let k = choose_k_in_range(&tau, 5, 10);
+        assert!(k <= 3 && k >= 1, "k = {k}");
+    }
+
+    #[test]
+    fn choose_k_degenerate_range() {
+        let tau = [0.1, 0.5, 0.6];
+        assert_eq!(choose_k_in_range(&tau, 2, 2), 2);
+    }
+
+    #[test]
+    fn choose_k_empty_candidates() {
+        assert_eq!(choose_k_in_range(&[], 3, 5), 3);
+    }
+}

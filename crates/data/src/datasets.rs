@@ -1,0 +1,553 @@
+//! The three synthetic datasets (Table 2 analogues).
+//!
+//! Cardinalities match Table 3 of the paper exactly. Candidate sizes
+//! follow a *hub-and-tail* law ([`crate::zipf::hub_zipf_weights`]): a
+//! handful of equally large hubs (O'Hare-class airports, arterial roads,
+//! midtown pickup cells) over a long Zipf tail — the regime the paper's
+//! real datasets are in. Each queried `(Z, X)` pair plants its top-k
+//! matches on hubs at graded ℓ1 distances from the target, a couple of
+//! "jump" decoys just past the boundary, and sub-σ rare decoys that are
+//! close to the target but legitimately prunable; everything else draws a
+//! far-from-target background shape. This yields the evaluation regime of
+//! §5: frequent top-k members (stage-3 reconstruction needs a small
+//! fraction of the data), a clean separation boundary, and a prunable
+//! tail (TAXI keeps thousands of near-empty locations).
+
+use fastmatch_store::table::Table;
+
+use crate::gen::{conditional_with_planted_pool, generate_table, plant_shapes, ColumnGen, ColumnSpec};
+use crate::shapes::{bimodal, far_pool, geometric, normalize, uniform};
+use crate::zipf::three_tier_weights;
+
+/// Identifier of one of the three synthetic datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// Flight records: 347 origins, departure-hour / day-of-week / dest
+    /// grouping attributes.
+    Flights,
+    /// Taxi trips: 7641 pickup locations (heavy tail), hour / month.
+    Taxi,
+    /// Police stops: 210 roads and 2110 violations as candidates.
+    Police,
+}
+
+impl DatasetId {
+    /// Generates the dataset at the given scale.
+    pub fn generate(&self, rows: usize, seed: u64) -> Table {
+        match self {
+            DatasetId::Flights => flights(rows, seed),
+            DatasetId::Taxi => taxi(rows, seed),
+            DatasetId::Police => police(rows, seed),
+        }
+    }
+
+    /// Dataset name as used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetId::Flights => "FLIGHTS",
+            DatasetId::Taxi => "TAXI",
+            DatasetId::Police => "POLICE",
+        }
+    }
+
+    /// All three datasets.
+    pub fn all() -> [DatasetId; 3] {
+        [DatasetId::Flights, DatasetId::Taxi, DatasetId::Police]
+    }
+}
+
+/// The candidate id standing in for Chicago ORD (a hub origin).
+pub const FLIGHTS_ORD: u32 = 0;
+/// The candidate id standing in for Appleton ATW (a rare tail origin).
+pub const FLIGHTS_ATW: u32 = 300;
+
+/// The FLIGHTS-q3 explicit target over days of the week.
+pub fn flights_q3_target() -> Vec<f64> {
+    vec![0.25, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125]
+}
+
+/// The ORD-like departure-hour shape: morning and evening rush peaks.
+pub fn ord_departure_shape() -> Vec<f64> {
+    bimodal(24, 8.0, 17.5, 2.2, 0.55)
+}
+
+/// The ATW-like departure-hour shape (regional field: early peaks) —
+/// deliberately far from both [`ord_departure_shape`] and every background
+/// pool base, so FLIGHTS-q2's match cluster is well separated.
+pub fn atw_departure_shape() -> Vec<f64> {
+    bimodal(24, 3.0, 12.0, 1.5, 0.35)
+}
+
+/// Background-pool perturbation: keeps non-matches tightly clustered
+/// around their (far) base shapes.
+const POOL_PERTURB: f64 = 0.10;
+
+/// Synthetic FLIGHTS: 347 origins — 16 hubs (62% of traffic), 60 mid-size
+/// airports (Zipf 0.7, 36%), 271 tiny fields (2%) — and 7 attributes.
+pub fn flights(rows: usize, seed: u64) -> Table {
+    let vz = 347usize;
+    let sizes = three_tier_weights(vz, 16, 0.62, 60, 0.36, 0.7);
+    // q1/q2 grouping: departure hour. Ten graded matches on hubs, two
+    // *sparse* mid-tier boundary contenders (the regime where AnyActive
+    // block skipping beats a sequential scan), one hub decoy past the
+    // boundary, plus sub-σ rare decoys near the target.
+    let mut dep_hour = conditional_with_planted_pool(
+        vz,
+        &ord_departure_shape(),
+        &[
+            (FLIGHTS_ORD, 0.0),
+            (1, 0.02),
+            (2, 0.04),
+            (3, 0.06),
+            (4, 0.08),
+            (5, 0.10),
+            (6, 0.12),
+            (7, 0.14),
+            (8, 0.16),
+            (9, 0.18),
+            (10, 0.45),
+            (11, 0.50),
+            (12, 0.55),
+            (150, 0.02),
+            (250, 0.05),
+        ],
+        &far_pool(24),
+        POOL_PERTURB,
+        seed ^ 0x11,
+    );
+    // q2's match cluster around the ATW shape: ATW itself (deep tail, sub-σ)
+    // plus ten frequent airports with similar regional schedules, and two
+    // just-past-the-boundary decoys.
+    plant_shapes(
+        &mut dep_hour,
+        &atw_departure_shape(),
+        &[
+            (FLIGHTS_ATW, 0.02),
+            (13, 0.01),
+            (14, 0.03),
+            (15, 0.05),
+            (16, 0.06),
+            (17, 0.08),
+            (18, 0.10),
+            (19, 0.12),
+            (20, 0.14),
+            (21, 0.16),
+            (22, 0.18),
+            (23, 0.50),
+            (24, 0.55),
+        ],
+        seed ^ 0x14,
+    );
+    // q3 grouping: day of week with the explicit Table 3 target shape.
+    let mut q3_shape = flights_q3_target();
+    normalize(&mut q3_shape);
+    let day_of_week = conditional_with_planted_pool(
+        vz,
+        &q3_shape,
+        &[
+            (1, 0.01),
+            (3, 0.03),
+            (5, 0.05),
+            (7, 0.07),
+            (9, 0.09),
+            (11, 0.45),
+            (13, 0.50),
+            (200, 0.02),
+        ],
+        &far_pool(7),
+        POOL_PERTURB,
+        seed ^ 0x12,
+    );
+    // q4 grouping: destination (|V_X| = 351), near-uniform matches.
+    let dest = conditional_with_planted_pool(
+        vz,
+        &uniform(351),
+        &[
+            (0, 0.005),
+            (2, 0.02),
+            (4, 0.04),
+            (6, 0.06),
+            (8, 0.08),
+            (10, 0.10),
+            (12, 0.12),
+            (14, 0.14),
+            (1, 0.16),
+            (3, 0.18),
+            (5, 0.50),
+            (7, 0.55),
+            (180, 0.03),
+        ],
+        &far_pool(351),
+        POOL_PERTURB,
+        seed ^ 0x13,
+    );
+    let specs = vec![
+        ColumnSpec::new("Origin", vz as u32, ColumnGen::PrimaryWeighted(sizes)),
+        ColumnSpec::new(
+            "Dest",
+            351,
+            ColumnGen::Conditional {
+                parent: 0,
+                dists: dest,
+            },
+        ),
+        ColumnSpec::new(
+            "DepartureHour",
+            24,
+            ColumnGen::Conditional {
+                parent: 0,
+                dists: dep_hour,
+            },
+        ),
+        ColumnSpec::new(
+            "DayOfWeek",
+            7,
+            ColumnGen::Conditional {
+                parent: 0,
+                dists: day_of_week,
+            },
+        ),
+        ColumnSpec::new("DayOfMonth", 31, ColumnGen::Iid(uniform(31))),
+        ColumnSpec::new("DepDelay", 16, ColumnGen::Iid(geometric(16, 0.65))),
+        ColumnSpec::new("ArrDelay", 16, ColumnGen::Iid(geometric(16, 0.7))),
+    ];
+    generate_table(&specs, rows, seed)
+}
+
+/// Synthetic TAXI: 7641 pickup locations — 16 midtown hub cells (45% of
+/// trips), 100 busy cells (Zipf 0.8, 54%), 7525 near-empty cells sharing
+/// 1% (thousands below 10 tuples, as the paper highlights) — and 7
+/// attributes.
+pub fn taxi(rows: usize, seed: u64) -> Table {
+    let vz = 7641usize;
+    let sizes = three_tier_weights(vz, 16, 0.45, 100, 0.54, 0.8);
+    let hour = conditional_with_planted_pool(
+        vz,
+        &uniform(24),
+        &[
+            (0, 0.0),
+            (1, 0.02),
+            (2, 0.04),
+            (3, 0.06),
+            (4, 0.08),
+            (5, 0.10),
+            (6, 0.12),
+            (7, 0.14),
+            (8, 0.16),
+            (9, 0.18),
+            (10, 0.45),
+            (11, 0.50),
+            (12, 0.55),
+            (3000, 0.01),
+            (5000, 0.02),
+        ],
+        &far_pool(24),
+        POOL_PERTURB,
+        seed ^ 0x21,
+    );
+    let month = conditional_with_planted_pool(
+        vz,
+        &uniform(12),
+        &[
+            (0, 0.005),
+            (2, 0.025),
+            (4, 0.045),
+            (6, 0.065),
+            (8, 0.085),
+            (10, 0.105),
+            (1, 0.125),
+            (3, 0.145),
+            (5, 0.165),
+            (7, 0.185),
+            (70, 0.45),
+            (90, 0.50),
+            (9, 0.55),
+            (4000, 0.015),
+        ],
+        &far_pool(12),
+        POOL_PERTURB,
+        seed ^ 0x22,
+    );
+    let specs = vec![
+        ColumnSpec::new("Location", vz as u32, ColumnGen::PrimaryWeighted(sizes)),
+        ColumnSpec::new(
+            "HourOfDay",
+            24,
+            ColumnGen::Conditional {
+                parent: 0,
+                dists: hour,
+            },
+        ),
+        ColumnSpec::new(
+            "MonthOfYear",
+            12,
+            ColumnGen::Conditional {
+                parent: 0,
+                dists: month,
+            },
+        ),
+        ColumnSpec::new("DayOfWeek", 7, ColumnGen::Iid(uniform(7))),
+        ColumnSpec::new("PassengerCount", 8, ColumnGen::Iid(geometric(8, 0.5))),
+        ColumnSpec::new("RateCode", 4, ColumnGen::Iid(geometric(4, 0.3))),
+        ColumnSpec::new("TripMinutes", 32, ColumnGen::Iid(geometric(32, 0.85))),
+    ];
+    generate_table(&specs, rows, seed)
+}
+
+/// Synthetic POLICE: 210 roads (16 arterial hubs, 55% of stops) as q1/q2
+/// candidates, 2110 violations (12 hub codes, 40% of stops) as q3
+/// candidates, and 10 attributes.
+pub fn police(rows: usize, seed: u64) -> Table {
+    let roads = 210usize;
+    let violations = 2110usize;
+    let road_sizes = three_tier_weights(roads, 16, 0.55, 60, 0.43, 0.7);
+    let mut violation_probs = three_tier_weights(violations, 12, 0.40, 100, 0.55, 0.8);
+    normalize(&mut violation_probs);
+    let contraband = conditional_with_planted_pool(
+        roads,
+        &uniform(2),
+        &[
+            (0, 0.0),
+            (1, 0.04),
+            (2, 0.08),
+            (3, 0.12),
+            (4, 0.16),
+            (5, 0.20),
+            (6, 0.24),
+            (7, 0.28),
+            (8, 0.32),
+            (9, 0.36),
+            (10, 0.90),
+            (55, 0.95),
+            (150, 0.05),
+        ],
+        &far_pool(2),
+        POOL_PERTURB,
+        seed ^ 0x31,
+    );
+    let officer_race = conditional_with_planted_pool(
+        roads,
+        &uniform(5),
+        &[
+            (0, 0.0),
+            (1, 0.03),
+            (2, 0.06),
+            (3, 0.09),
+            (4, 0.12),
+            (5, 0.15),
+            (6, 0.18),
+            (7, 0.21),
+            (8, 0.24),
+            (9, 0.27),
+            (10, 0.80),
+            (60, 0.85),
+            (170, 0.04),
+        ],
+        &far_pool(5),
+        POOL_PERTURB,
+        seed ^ 0x32,
+    );
+    let driver_gender = conditional_with_planted_pool(
+        violations,
+        &uniform(2),
+        &[
+            (0, 0.0),
+            (1, 0.04),
+            (2, 0.08),
+            (3, 0.12),
+            (4, 0.16),
+            (5, 0.85),
+            (71, 0.90),
+            (1500, 0.02),
+            (1800, 0.05),
+        ],
+        &far_pool(2),
+        POOL_PERTURB,
+        seed ^ 0x33,
+    );
+    let specs = vec![
+        ColumnSpec::new("RoadID", roads as u32, ColumnGen::PrimaryWeighted(road_sizes)),
+        ColumnSpec::new(
+            "Violation",
+            violations as u32,
+            ColumnGen::Iid(violation_probs),
+        ),
+        ColumnSpec::new(
+            "ContrabandFound",
+            2,
+            ColumnGen::Conditional {
+                parent: 0,
+                dists: contraband,
+            },
+        ),
+        ColumnSpec::new(
+            "OfficerRace",
+            5,
+            ColumnGen::Conditional {
+                parent: 0,
+                dists: officer_race,
+            },
+        ),
+        ColumnSpec::new(
+            "DriverGender",
+            2,
+            ColumnGen::Conditional {
+                parent: 1,
+                dists: driver_gender,
+            },
+        ),
+        ColumnSpec::new("County", 39, ColumnGen::IidZipf { s: 0.8 }),
+        ColumnSpec::new("OfficerGender", 2, ColumnGen::Iid(vec![0.8, 0.2])),
+        ColumnSpec::new("DriverRace", 6, ColumnGen::IidZipf { s: 0.9 }),
+        ColumnSpec::new("StopOutcome", 8, ColumnGen::Iid(geometric(8, 0.6))),
+        ColumnSpec::new("SearchConducted", 2, ColumnGen::Iid(vec![0.93, 0.07])),
+    ];
+    generate_table(&specs, rows, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flights_schema_matches_table3() {
+        let t = flights(30_000, 1);
+        assert_eq!(t.n_rows(), 30_000);
+        assert_eq!(t.cardinality(t.attr_index("Origin").unwrap()), 347);
+        assert_eq!(t.cardinality(t.attr_index("Dest").unwrap()), 351);
+        assert_eq!(t.cardinality(t.attr_index("DepartureHour").unwrap()), 24);
+        assert_eq!(t.cardinality(t.attr_index("DayOfWeek").unwrap()), 7);
+        assert_eq!(t.schema().len(), 7);
+    }
+
+    #[test]
+    fn taxi_schema_matches_table3() {
+        let t = taxi(30_000, 1);
+        assert_eq!(t.cardinality(t.attr_index("Location").unwrap()), 7641);
+        assert_eq!(t.cardinality(t.attr_index("HourOfDay").unwrap()), 24);
+        assert_eq!(t.cardinality(t.attr_index("MonthOfYear").unwrap()), 12);
+        assert_eq!(t.schema().len(), 7);
+    }
+
+    #[test]
+    fn police_schema_matches_table3() {
+        let t = police(30_000, 1);
+        assert_eq!(t.cardinality(t.attr_index("RoadID").unwrap()), 210);
+        assert_eq!(t.cardinality(t.attr_index("Violation").unwrap()), 2110);
+        assert_eq!(t.cardinality(t.attr_index("DriverGender").unwrap()), 2);
+        assert_eq!(t.schema().len(), 10);
+    }
+
+    #[test]
+    fn ord_is_a_hub_with_high_selectivity() {
+        let t = flights(100_000, 2);
+        let counts = t.value_counts(0);
+        let sel = counts[FLIGHTS_ORD as usize] as f64 / 100_000.0;
+        // hubs share 70% across 16: ~4.4% each
+        assert!(sel > 0.03, "ORD selectivity {sel}");
+        // and no tail candidate dwarfs the hubs
+        let max = counts.iter().copied().max().unwrap();
+        assert!(counts[FLIGHTS_ORD as usize] * 2 > max, "hub dwarfed: {max}");
+    }
+
+    #[test]
+    fn atw_is_rare_but_nonempty() {
+        let t = flights(400_000, 2);
+        let counts = t.value_counts(0);
+        let atw = counts[FLIGHTS_ATW as usize];
+        assert!(atw > 0, "ATW must have some tuples");
+        // below the default σ = 0.0008
+        assert!(
+            (atw as f64) < 0.0008 * 400_000.0,
+            "ATW should be sub-sigma, has {atw}"
+        );
+    }
+
+    #[test]
+    fn ord_histogram_tracks_planted_shape() {
+        let t = flights(300_000, 3);
+        let z = t.attr_index("Origin").unwrap();
+        let x = t.attr_index("DepartureHour").unwrap();
+        let ct = t.crosstab(z, x);
+        let row = &ct[FLIGHTS_ORD as usize * 24..(FLIGHTS_ORD as usize + 1) * 24];
+        let total: u64 = row.iter().sum();
+        let shape = ord_departure_shape();
+        let l1: f64 = row
+            .iter()
+            .zip(&shape)
+            .map(|(&c, &s)| (c as f64 / total as f64 - s).abs())
+            .sum();
+        assert!(l1 < 0.05, "ORD empirical shape off by {l1}");
+    }
+
+    #[test]
+    fn planted_matches_are_the_true_topk() {
+        // The ten graded dep-hour matches must actually be the ten closest
+        // candidates to the ORD shape among sufficiently-frequent origins.
+        let t = flights(400_000, 4);
+        let z = t.attr_index("Origin").unwrap();
+        let x = t.attr_index("DepartureHour").unwrap();
+        let ct = t.crosstab(z, x);
+        let counts = t.value_counts(z);
+        let target = ord_departure_shape();
+        let mut dists: Vec<(f64, usize)> = (0..347)
+            .filter(|&c| counts[c] as f64 >= 0.0008 * 400_000.0)
+            .map(|c| {
+                let row = &ct[c * 24..(c + 1) * 24];
+                let tot: u64 = row.iter().sum();
+                let d: f64 = row
+                    .iter()
+                    .zip(&target)
+                    .map(|(&v, &s)| (v as f64 / tot.max(1) as f64 - s).abs())
+                    .sum();
+                (d, c)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let top10: Vec<usize> = dists[..10].iter().map(|&(_, c)| c).collect();
+        let mut sorted = top10.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<usize>>(), "top10 = {top10:?}");
+        // and there is a real gap to the 11th
+        assert!(
+            dists[10].0 - dists[9].0 > 0.1,
+            "boundary gap too small: {} vs {}",
+            dists[9].0,
+            dists[10].0
+        );
+    }
+
+    #[test]
+    fn taxi_tail_is_sparse() {
+        let t = taxi(1_000_000, 4);
+        let counts = t.value_counts(0);
+        let tiny = counts.iter().filter(|&&c| c < 10).count();
+        assert!(tiny > 3000, "only {tiny} tiny candidates");
+    }
+
+    #[test]
+    fn taxi_hubs_are_frequent() {
+        let t = taxi(500_000, 5);
+        let counts = t.value_counts(0);
+        for c in 0..10 {
+            let sel = counts[c] as f64 / 500_000.0;
+            assert!(sel > 0.02, "hub {c} sel {sel}");
+        }
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        assert_eq!(flights(10_000, 7), flights(10_000, 7));
+        assert_eq!(taxi(10_000, 7), taxi(10_000, 7));
+        assert_eq!(police(10_000, 7), police(10_000, 7));
+    }
+
+    #[test]
+    fn dataset_id_roundtrip() {
+        for id in DatasetId::all() {
+            let t = id.generate(5_000, 9);
+            assert_eq!(t.n_rows(), 5_000);
+            assert!(!id.name().is_empty());
+        }
+    }
+}

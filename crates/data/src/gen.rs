@@ -1,0 +1,327 @@
+//! Generic synthetic table generation.
+//!
+//! A dataset is described by a list of [`ColumnSpec`]s; columns are
+//! generated in order, so conditional columns can reference earlier ones.
+//! The finished table is run through the store's random-permutation
+//! preprocessing, exactly as FastMatch requires of its input.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fastmatch_store::schema::AttrDef;
+use fastmatch_store::shuffle::shuffle_table;
+use fastmatch_store::table::Table;
+
+use crate::shapes::{background_pool, perturb, Cdf};
+use crate::zipf::{zipf_sizes, zipf_weights};
+
+/// How a column's codes are produced.
+#[derive(Debug, Clone)]
+pub enum ColumnGen {
+    /// Codes drawn iid from a fixed distribution over the dictionary.
+    Iid(Vec<f64>),
+    /// Codes drawn iid with Zipf(`s`) probabilities by code rank.
+    IidZipf {
+        /// Zipf exponent.
+        s: f64,
+    },
+    /// The dataset's primary candidate attribute: code `c` appears exactly
+    /// `zipf_sizes(card, s, rows)[c]` times — sizes are deterministic, so
+    /// ground-truth selectivities follow the intended skew exactly.
+    PrimaryZipf {
+        /// Zipf exponent.
+        s: f64,
+    },
+    /// Primary candidate attribute with arbitrary explicit weights
+    /// (e.g. [`crate::zipf::hub_zipf_weights`]); sizes are apportioned
+    /// exactly via largest remainders.
+    PrimaryWeighted(Vec<f64>),
+    /// Codes drawn from a per-parent-value conditional distribution
+    /// (`dists[parent_code]`); `parent` must index an earlier column.
+    Conditional {
+        /// Index of the parent column in the spec list.
+        parent: usize,
+        /// One distribution over this column's dictionary per parent code.
+        dists: Vec<Vec<f64>>,
+    },
+}
+
+/// Name, cardinality and generator of one column.
+#[derive(Debug, Clone)]
+pub struct ColumnSpec {
+    /// Attribute name.
+    pub name: String,
+    /// Dictionary cardinality.
+    pub cardinality: u32,
+    /// Generator.
+    pub gen: ColumnGen,
+}
+
+impl ColumnSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, cardinality: u32, gen: ColumnGen) -> Self {
+        ColumnSpec {
+            name: name.into(),
+            cardinality,
+            gen,
+        }
+    }
+}
+
+/// Generates a table of `rows` rows from the specs, then applies the
+/// random-permutation preprocessing (seeded, deterministic).
+pub fn generate_table(specs: &[ColumnSpec], rows: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut columns: Vec<Vec<u32>> = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let card = spec.cardinality as usize;
+        let col: Vec<u32> = match &spec.gen {
+            ColumnGen::Iid(probs) => {
+                assert_eq!(probs.len(), card, "column {i}: distribution arity");
+                let cdf = Cdf::new(probs);
+                (0..rows).map(|_| cdf.sample(&mut rng)).collect()
+            }
+            ColumnGen::IidZipf { s } => {
+                let mut w = zipf_weights(card, *s);
+                crate::shapes::normalize(&mut w);
+                let cdf = Cdf::new(&w);
+                (0..rows).map(|_| cdf.sample(&mut rng)).collect()
+            }
+            ColumnGen::PrimaryZipf { s } => {
+                let sizes = zipf_sizes(card, *s, rows as u64);
+                primary_column(&sizes, rows)
+            }
+            ColumnGen::PrimaryWeighted(weights) => {
+                assert_eq!(weights.len(), card, "column {i}: weight arity");
+                let sizes = crate::zipf::proportional_sizes(weights, rows as u64);
+                primary_column(&sizes, rows)
+            }
+            ColumnGen::Conditional { parent, dists } => {
+                assert!(*parent < i, "column {i}: parent must come earlier");
+                assert_eq!(
+                    dists.len(),
+                    specs[*parent].cardinality as usize,
+                    "column {i}: one distribution per parent code"
+                );
+                let cdfs: Vec<Cdf> = dists
+                    .iter()
+                    .map(|d| {
+                        assert_eq!(d.len(), card, "column {i}: distribution arity");
+                        Cdf::new(d)
+                    })
+                    .collect();
+                let parent_col = &columns[*parent];
+                parent_col
+                    .iter()
+                    .map(|&p| cdfs[p as usize].sample(&mut rng))
+                    .collect()
+            }
+        };
+        columns.push(col);
+    }
+    let attrs: Vec<AttrDef> = specs
+        .iter()
+        .map(|s| AttrDef::new(s.name.clone(), s.cardinality))
+        .collect();
+    let table = Table::new(fastmatch_store::schema::Schema::new(attrs), columns);
+    shuffle_table(&table, seed ^ 0x9e37_79b9_7f4a_7c15)
+}
+
+/// Overwrites the distributions of the given candidates with perturbations
+/// of `shape` — used to plant a *second* match cluster (e.g. FLIGHTS-q2's
+/// ATW-like airports) into a conditional table built around a different
+/// primary target.
+pub fn plant_shapes(
+    dists: &mut [Vec<f64>],
+    shape: &[f64],
+    planted: &[(u32, f64)],
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for &(z, amount) in planted {
+        assert!((z as usize) < dists.len(), "planted candidate {z} out of range");
+        dists[z as usize] = perturb(shape, amount, &mut rng);
+    }
+}
+
+fn primary_column(sizes: &[u64], rows: usize) -> Vec<u32> {
+    let mut col = Vec::with_capacity(rows);
+    for (c, &n) in sizes.iter().enumerate() {
+        col.extend(std::iter::repeat_n(c as u32, n as usize));
+    }
+    col
+}
+
+/// Builds the per-candidate conditional distributions for a queried
+/// `(Z, X)` pair: `planted` candidates sit at controlled perturbation
+/// distances from `target_shape`; everyone else gets a background-pool
+/// shape with `pool_perturb` noise (varied per candidate).
+pub fn conditional_with_planted(
+    vz: usize,
+    target_shape: &[f64],
+    planted: &[(u32, f64)],
+    pool_perturb: f64,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    let pool = background_pool(target_shape.len());
+    conditional_with_planted_pool(vz, target_shape, planted, &pool, pool_perturb, seed)
+}
+
+/// Like [`conditional_with_planted`] but with an explicit background pool
+/// (e.g. [`crate::shapes::far_pool`] for near-uniform targets).
+pub fn conditional_with_planted_pool(
+    vz: usize,
+    target_shape: &[f64],
+    planted: &[(u32, f64)],
+    pool: &[Vec<f64>],
+    pool_perturb: f64,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    assert!(!pool.is_empty(), "background pool must not be empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dists: Vec<Vec<f64>> = (0..vz)
+        .map(|z| {
+            let base = &pool[z % pool.len()];
+            perturb(base, pool_perturb, &mut rng)
+        })
+        .collect();
+    for &(z, amount) in planted {
+        assert!((z as usize) < vz, "planted candidate {z} out of range");
+        dists[z as usize] = perturb(target_shape, amount, &mut rng);
+    }
+    dists
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes::uniform;
+
+    #[test]
+    fn primary_zipf_sizes_are_exact() {
+        let specs = vec![ColumnSpec::new("z", 10, ColumnGen::PrimaryZipf { s: 1.0 })];
+        let t = generate_table(&specs, 10_000, 1);
+        assert_eq!(t.n_rows(), 10_000);
+        let counts = t.value_counts(0);
+        let expected = zipf_sizes(10, 1.0, 10_000);
+        assert_eq!(counts, expected);
+    }
+
+    #[test]
+    fn iid_column_matches_distribution() {
+        let specs = vec![ColumnSpec::new(
+            "x",
+            4,
+            ColumnGen::Iid(vec![0.4, 0.3, 0.2, 0.1]),
+        )];
+        let t = generate_table(&specs, 100_000, 2);
+        let counts = t.value_counts(0);
+        for (i, &expect) in [0.4, 0.3, 0.2, 0.1].iter().enumerate() {
+            let f = counts[i] as f64 / 100_000.0;
+            assert!((f - expect).abs() < 0.01, "bin {i}: {f}");
+        }
+    }
+
+    #[test]
+    fn iid_zipf_is_skewed() {
+        let specs = vec![ColumnSpec::new("z", 100, ColumnGen::IidZipf { s: 1.3 })];
+        let t = generate_table(&specs, 50_000, 3);
+        let counts = t.value_counts(0);
+        assert!(counts[0] > counts[10] && counts[10] >= counts[90]);
+    }
+
+    #[test]
+    fn conditional_column_follows_parent() {
+        // parent z ∈ {0, 1}; x | z=0 always 0, x | z=1 always 1.
+        let specs = vec![
+            ColumnSpec::new("z", 2, ColumnGen::PrimaryZipf { s: 0.5 }),
+            ColumnSpec::new(
+                "x",
+                2,
+                ColumnGen::Conditional {
+                    parent: 0,
+                    dists: vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+                },
+            ),
+        ];
+        let t = generate_table(&specs, 5_000, 4);
+        for r in 0..t.n_rows() {
+            assert_eq!(t.code(0, r), t.code(1, r));
+        }
+    }
+
+    #[test]
+    fn conditional_distribution_is_respected_statistically() {
+        let specs = vec![
+            ColumnSpec::new("z", 2, ColumnGen::PrimaryZipf { s: 0.0 }),
+            ColumnSpec::new(
+                "x",
+                2,
+                ColumnGen::Conditional {
+                    parent: 0,
+                    dists: vec![vec![0.9, 0.1], vec![0.2, 0.8]],
+                },
+            ),
+        ];
+        let t = generate_table(&specs, 100_000, 5);
+        let ct = t.crosstab(0, 1);
+        let f00 = ct[0] as f64 / (ct[0] + ct[1]) as f64;
+        let f10 = ct[2] as f64 / (ct[2] + ct[3]) as f64;
+        assert!((f00 - 0.9).abs() < 0.02, "{f00}");
+        assert!((f10 - 0.2).abs() < 0.02, "{f10}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let specs = vec![
+            ColumnSpec::new("z", 5, ColumnGen::PrimaryZipf { s: 1.0 }),
+            ColumnSpec::new("x", 3, ColumnGen::IidZipf { s: 0.5 }),
+        ];
+        let a = generate_table(&specs, 2_000, 42);
+        let b = generate_table(&specs, 2_000, 42);
+        assert_eq!(a, b);
+        let c = generate_table(&specs, 2_000, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn table_is_shuffled() {
+        let specs = vec![ColumnSpec::new("z", 4, ColumnGen::PrimaryZipf { s: 0.0 })];
+        let t = generate_table(&specs, 4_000, 6);
+        // Without shuffling the first quarter would be all zeros.
+        let zeros_in_prefix = (0..1000).filter(|&r| t.code(0, r) == 0).count();
+        assert!(zeros_in_prefix < 500, "prefix not shuffled");
+    }
+
+    #[test]
+    fn planted_candidates_are_near_target() {
+        let target = uniform(8);
+        let dists = conditional_with_planted(50, &target, &[(3, 0.0), (10, 0.05)], 0.4, 7);
+        let l1 = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+        };
+        assert!(l1(&dists[3], &target) < 1e-12);
+        assert!(l1(&dists[10], &target) < 0.2);
+        // background candidates are much further on average
+        let avg_bg: f64 = (0..50)
+            .filter(|z| ![3usize, 10].contains(z))
+            .map(|z| l1(&dists[z], &target))
+            .sum::<f64>()
+            / 48.0;
+        assert!(avg_bg > 0.3, "avg background distance {avg_bg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "parent must come earlier")]
+    fn forward_parent_reference_panics() {
+        let specs = vec![ColumnSpec::new(
+            "x",
+            2,
+            ColumnGen::Conditional {
+                parent: 0,
+                dists: vec![],
+            },
+        )];
+        generate_table(&specs, 10, 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # fastmatch-data
+//!
+//! Synthetic stand-ins for the three evaluation datasets of the FastMatch
+//! paper (Table 2) and the nine-query workload of Table 3.
+//!
+//! The paper evaluates on real FLIGHTS / TAXI / POLICE dumps replicated to
+//! 32–36 GiB. Those dumps are not redistributable at that scale, so this
+//! crate generates synthetic tables with the *same schema shape* — the
+//! exact candidate/grouping cardinalities of Table 3, Zipf-skewed candidate
+//! sizes (e.g. thousands of near-empty TAXI locations), and per-candidate
+//! group distributions drawn from structured shape families so each query
+//! has a meaningful, well-separated top-k plus near-boundary candidates.
+//! Row counts are configurable so experiments scale from CI smoke tests to
+//! paper-sized runs.
+//!
+//! See `DESIGN.md` §2 for the substitution rationale.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod datasets;
+pub mod gen;
+pub mod queries;
+pub mod shapes;
+pub mod zipf;
+
+pub use datasets::{flights, police, taxi, DatasetId};
+pub use queries::{all_queries, QuerySpec, TargetSpec};

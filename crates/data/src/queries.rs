@@ -1,0 +1,280 @@
+//! The nine-query evaluation workload (paper Table 3).
+//!
+//! | Query | Z (|V_Z|) | X (|V_X|) | k | target |
+//! |---|---|---|---|---|
+//! | FLIGHTS-q1 | Origin (347) | DepartureHour (24) | 10 | Chicago ORD |
+//! | FLIGHTS-q2 | Origin (347) | DepartureHour (24) | 10 | Appleton ATW |
+//! | FLIGHTS-q3 | Origin (347) | DayOfWeek (7) | 5 | `[.25, .125 ×6]` |
+//! | FLIGHTS-q4 | Origin (347) | Dest (351) | 10 | closest to uniform |
+//! | TAXI-q1 | Location (7641) | HourOfDay (24) | 10 | closest to uniform |
+//! | TAXI-q2 | Location (7641) | MonthOfYear (12) | 10 | closest to uniform |
+//! | POLICE-q1 | RoadID (210) | ContrabandFound (2) | 10 | closest to uniform |
+//! | POLICE-q2 | RoadID (210) | OfficerRace (5) | 10 | closest to uniform |
+//! | POLICE-q3 | Violation (2110) | DriverGender (2) | 5 | closest to uniform |
+
+use fastmatch_store::table::Table;
+
+use crate::datasets::{flights_q3_target, DatasetId, FLIGHTS_ATW, FLIGHTS_ORD};
+
+/// How a query's visual target `q` is specified.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TargetSpec {
+    /// The exact histogram of a specific candidate (e.g. Greece / ORD).
+    Candidate(u32),
+    /// An explicit shape supplied by the analyst (FLIGHTS-q3).
+    Explicit(Vec<f64>),
+    /// The candidate histogram closest (ℓ1) to uniform, among candidates
+    /// with selectivity at least `min_selectivity` — the rule the paper
+    /// uses for most queries.
+    ClosestToUniform {
+        /// Minimum selectivity for target eligibility.
+        min_selectivity: f64,
+    },
+}
+
+/// One evaluation query: a histogram-generating query template plus target.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Short identifier, e.g. `"flights-q1"`.
+    pub id: &'static str,
+    /// Which dataset the query runs on.
+    pub dataset: DatasetId,
+    /// Candidate attribute name (`Z`).
+    pub z: &'static str,
+    /// Grouping attribute name (`X`).
+    pub x: &'static str,
+    /// Number of matches to retrieve.
+    pub k: usize,
+    /// Target specification.
+    pub target: TargetSpec,
+}
+
+impl QuerySpec {
+    /// Index of the candidate attribute in the dataset's schema.
+    pub fn z_attr(&self, table: &Table) -> usize {
+        table
+            .attr_index(self.z)
+            .unwrap_or_else(|| panic!("{}: no attribute {}", self.id, self.z))
+    }
+
+    /// Index of the grouping attribute in the dataset's schema.
+    pub fn x_attr(&self, table: &Table) -> usize {
+        table
+            .attr_index(self.x)
+            .unwrap_or_else(|| panic!("{}: no attribute {}", self.id, self.x))
+    }
+
+    /// Resolves the visual target into a normalized vector over `|V_X|`
+    /// groups, using exact counts where the spec references a candidate.
+    /// Returns the target and, when it came from a candidate, that
+    /// candidate's id.
+    pub fn resolve_target(&self, table: &Table) -> (Vec<f64>, Option<u32>) {
+        let z = self.z_attr(table);
+        let x = self.x_attr(table);
+        let vx = table.cardinality(x) as usize;
+        match &self.target {
+            TargetSpec::Explicit(shape) => {
+                assert_eq!(shape.len(), vx, "{}: explicit target arity", self.id);
+                let total: f64 = shape.iter().sum();
+                ((shape.iter().map(|s| s / total).collect()), None)
+            }
+            TargetSpec::Candidate(c) => {
+                let ct = table.crosstab(z, x);
+                let row = &ct[*c as usize * vx..(*c as usize + 1) * vx];
+                let total: u64 = row.iter().sum();
+                assert!(total > 0, "{}: target candidate {c} is empty", self.id);
+                (
+                    row.iter().map(|&v| v as f64 / total as f64).collect(),
+                    Some(*c),
+                )
+            }
+            TargetSpec::ClosestToUniform { min_selectivity } => {
+                let ct = table.crosstab(z, x);
+                let n = table.n_rows() as f64;
+                let uniform = 1.0 / vx as f64;
+                let mut best: Option<(f64, u32)> = None;
+                for c in 0..table.cardinality(z) as usize {
+                    let row = &ct[c * vx..(c + 1) * vx];
+                    let total: u64 = row.iter().sum();
+                    if (total as f64) < min_selectivity * n || total == 0 {
+                        continue;
+                    }
+                    let d: f64 = row
+                        .iter()
+                        .map(|&v| (v as f64 / total as f64 - uniform).abs())
+                        .sum();
+                    if best.is_none_or(|(bd, _)| d < bd) {
+                        best = Some((d, c as u32));
+                    }
+                }
+                let (_, c) = best.expect("no candidate meets the selectivity threshold");
+                let row = &ct[c as usize * vx..(c as usize + 1) * vx];
+                let total: u64 = row.iter().sum();
+                (
+                    row.iter().map(|&v| v as f64 / total as f64).collect(),
+                    Some(c),
+                )
+            }
+        }
+    }
+}
+
+/// The full Table 3 workload, in paper order.
+pub fn all_queries() -> Vec<QuerySpec> {
+    let sel = 0.0008; // the default σ, reused for target eligibility
+    vec![
+        QuerySpec {
+            id: "flights-q1",
+            dataset: DatasetId::Flights,
+            z: "Origin",
+            x: "DepartureHour",
+            k: 10,
+            target: TargetSpec::Candidate(FLIGHTS_ORD),
+        },
+        QuerySpec {
+            id: "flights-q2",
+            dataset: DatasetId::Flights,
+            z: "Origin",
+            x: "DepartureHour",
+            k: 10,
+            target: TargetSpec::Candidate(FLIGHTS_ATW),
+        },
+        QuerySpec {
+            id: "flights-q3",
+            dataset: DatasetId::Flights,
+            z: "Origin",
+            x: "DayOfWeek",
+            k: 5,
+            target: TargetSpec::Explicit(flights_q3_target()),
+        },
+        QuerySpec {
+            id: "flights-q4",
+            dataset: DatasetId::Flights,
+            z: "Origin",
+            x: "Dest",
+            k: 10,
+            target: TargetSpec::ClosestToUniform {
+                min_selectivity: sel,
+            },
+        },
+        QuerySpec {
+            id: "taxi-q1",
+            dataset: DatasetId::Taxi,
+            z: "Location",
+            x: "HourOfDay",
+            k: 10,
+            target: TargetSpec::ClosestToUniform {
+                min_selectivity: sel,
+            },
+        },
+        QuerySpec {
+            id: "taxi-q2",
+            dataset: DatasetId::Taxi,
+            z: "Location",
+            x: "MonthOfYear",
+            k: 10,
+            target: TargetSpec::ClosestToUniform {
+                min_selectivity: sel,
+            },
+        },
+        QuerySpec {
+            id: "police-q1",
+            dataset: DatasetId::Police,
+            z: "RoadID",
+            x: "ContrabandFound",
+            k: 10,
+            target: TargetSpec::ClosestToUniform {
+                min_selectivity: sel,
+            },
+        },
+        QuerySpec {
+            id: "police-q2",
+            dataset: DatasetId::Police,
+            z: "RoadID",
+            x: "OfficerRace",
+            k: 10,
+            target: TargetSpec::ClosestToUniform {
+                min_selectivity: sel,
+            },
+        },
+        QuerySpec {
+            id: "police-q3",
+            dataset: DatasetId::Police,
+            z: "Violation",
+            x: "DriverGender",
+            k: 5,
+            target: TargetSpec::ClosestToUniform {
+                min_selectivity: sel,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_has_nine_queries_with_table3_ks() {
+        let qs = all_queries();
+        assert_eq!(qs.len(), 9);
+        let ks: Vec<usize> = qs.iter().map(|q| q.k).collect();
+        assert_eq!(ks, vec![10, 10, 5, 10, 10, 10, 10, 10, 5]);
+    }
+
+    #[test]
+    fn attribute_names_resolve_on_their_datasets() {
+        let tables = [
+            (DatasetId::Flights, DatasetId::Flights.generate(20_000, 1)),
+            (DatasetId::Taxi, DatasetId::Taxi.generate(20_000, 1)),
+            (DatasetId::Police, DatasetId::Police.generate(20_000, 1)),
+        ];
+        for q in all_queries() {
+            let table = &tables.iter().find(|(d, _)| *d == q.dataset).unwrap().1;
+            let z = q.z_attr(table);
+            let x = q.x_attr(table);
+            assert_ne!(z, x, "{}", q.id);
+        }
+    }
+
+    #[test]
+    fn explicit_target_normalizes() {
+        let t = DatasetId::Flights.generate(20_000, 2);
+        let q3 = &all_queries()[2];
+        let (target, cand) = q3.resolve_target(&t);
+        assert_eq!(cand, None);
+        assert_eq!(target.len(), 7);
+        assert!((target.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((target[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn candidate_target_matches_crosstab() {
+        let t = DatasetId::Flights.generate(50_000, 3);
+        let q1 = &all_queries()[0];
+        let (target, cand) = q1.resolve_target(&t);
+        assert_eq!(cand, Some(FLIGHTS_ORD));
+        assert_eq!(target.len(), 24);
+        assert!((target.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closest_to_uniform_prefers_planted_candidate() {
+        let t = DatasetId::Taxi.generate(400_000, 4);
+        let q = &all_queries()[4]; // taxi-q1
+        let (target, cand) = q.resolve_target(&t);
+        let c = cand.unwrap();
+        // The target must be one of the near-uniform planted candidates
+        // with decent selectivity (the 0.005-perturbed id 2 is expected).
+        let uniform = 1.0 / 24.0;
+        let d: f64 = target.iter().map(|&p| (p - uniform).abs()).sum();
+        assert!(d < 0.2, "target candidate {c} is not near uniform: {d}");
+    }
+
+    #[test]
+    fn targets_are_deterministic() {
+        let t = DatasetId::Police.generate(100_000, 5);
+        let q = &all_queries()[6];
+        assert_eq!(q.resolve_target(&t), q.resolve_target(&t));
+    }
+}

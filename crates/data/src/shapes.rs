@@ -1,0 +1,309 @@
+//! Distribution shape families for per-candidate group distributions.
+//!
+//! Every candidate value of a queried `Z` attribute carries a conditional
+//! distribution over the grouping attribute `X`. To create realistic
+//! match structure (a clear top-k, a few near-boundary candidates, a long
+//! tail of dissimilar shapes) we compose a small library of parametric
+//! shapes with random perturbations.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Normalizes a non-negative weight vector in place to sum to 1.
+pub fn normalize(v: &mut [f64]) {
+    let total: f64 = v.iter().sum();
+    assert!(total > 0.0, "cannot normalize a zero vector");
+    for x in v.iter_mut() {
+        *x /= total;
+    }
+}
+
+/// The uniform distribution over `n` bins.
+pub fn uniform(n: usize) -> Vec<f64> {
+    vec![1.0 / n as f64; n]
+}
+
+/// A Gaussian bump centered at `center` (in bin units) with width `width`,
+/// plus a small floor so no bin has zero mass.
+pub fn peaked(n: usize, center: f64, width: f64) -> Vec<f64> {
+    assert!(width > 0.0);
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| {
+            let d = (i as f64 - center) / width;
+            (-0.5 * d * d).exp() + 1e-3
+        })
+        .collect();
+    normalize(&mut v);
+    v
+}
+
+/// A mixture of two bumps — e.g. the morning/evening rush-hour pattern of
+/// departure times, or the 3–5 am nightclub pickup spike of §1 Example 2.
+pub fn bimodal(n: usize, c1: f64, c2: f64, width: f64, mix: f64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&mix));
+    let a = peaked(n, c1, width);
+    let b = peaked(n, c2, width);
+    let mut v: Vec<f64> = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| mix * x + (1.0 - mix) * y)
+        .collect();
+    normalize(&mut v);
+    v
+}
+
+/// Geometrically decaying mass: `p_i ∝ ratio^i` (ratio < 1 front-loaded).
+pub fn geometric(n: usize, ratio: f64) -> Vec<f64> {
+    assert!(ratio > 0.0);
+    let mut v: Vec<f64> = (0..n).map(|i| ratio.powi(i as i32) + 1e-6).collect();
+    normalize(&mut v);
+    v
+}
+
+/// A linear ramp from `1` to `slope_end` (relative weights).
+pub fn ramp(n: usize, slope_end: f64) -> Vec<f64> {
+    assert!(slope_end > 0.0);
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| 1.0 + (slope_end - 1.0) * i as f64 / (n.max(2) - 1) as f64)
+        .collect();
+    normalize(&mut v);
+    v
+}
+
+/// A draw from the flat Dirichlet (each coordinate `Exp(1)`, normalized)
+/// — pure shape noise.
+pub fn dirichlet_flat(n: usize, rng: &mut StdRng) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..n)
+        .map(|_| -rng.gen_range(f64::MIN_POSITIVE..1.0f64).ln())
+        .collect();
+    normalize(&mut v);
+    v
+}
+
+/// Convex mixture of `base` with Dirichlet noise: `(1−a)·base + a·noise`.
+/// `amount = 0` returns the base exactly; `amount = 1` is pure noise. The
+/// ℓ1 distance to the base grows monotonically with `amount` in
+/// expectation, which is how queries plant near-boundary candidates at
+/// controlled distances.
+pub fn perturb(base: &[f64], amount: f64, rng: &mut StdRng) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&amount));
+    let noise = dirichlet_flat(base.len(), rng);
+    let mut v: Vec<f64> = base
+        .iter()
+        .zip(&noise)
+        .map(|(b, z)| (1.0 - amount) * b + amount * z)
+        .collect();
+    normalize(&mut v);
+    v
+}
+
+/// A pool of visually distinct base shapes for "background" candidates.
+pub fn background_pool(n: usize) -> Vec<Vec<f64>> {
+    let nf = n as f64;
+    vec![
+        peaked(n, 0.15 * nf, 0.06 * nf + 0.5),
+        peaked(n, 0.5 * nf, 0.08 * nf + 0.5),
+        peaked(n, 0.85 * nf, 0.06 * nf + 0.5),
+        bimodal(n, 0.2 * nf, 0.8 * nf, 0.07 * nf + 0.5, 0.5),
+        geometric(n, 0.7),
+        ramp(n, 4.0),
+        ramp(n, 0.25),
+    ]
+}
+
+/// A pool of shapes all *far* from uniform (ℓ1 distance ≳ 0.6).
+///
+/// Used for background candidates of queries whose target is near
+/// uniform: keeping non-matches far from the target keeps the stage-2
+/// split-point slack `ε′ⱼ` large for low-selectivity candidates, so their
+/// per-round demands (Eq. 1, `∝ 1/ε′²`) stay proportionate — mirroring
+/// real data, where most candidates are nowhere near the target.
+pub fn far_pool(n: usize) -> Vec<Vec<f64>> {
+    if n == 2 {
+        return vec![
+            vec![0.95, 0.05],
+            vec![0.05, 0.95],
+            vec![0.90, 0.10],
+            vec![0.10, 0.90],
+            vec![0.97, 0.03],
+        ];
+    }
+    if n == 3 {
+        return vec![
+            vec![0.88, 0.06, 0.06],
+            vec![0.06, 0.88, 0.06],
+            vec![0.06, 0.06, 0.88],
+            vec![0.75, 0.22, 0.03],
+            vec![0.03, 0.15, 0.82],
+        ];
+    }
+    let nf = n as f64;
+    vec![
+        peaked(n, 0.12 * nf, 0.04 * nf + 0.3),
+        peaked(n, 0.5 * nf, 0.05 * nf + 0.3),
+        peaked(n, 0.88 * nf, 0.04 * nf + 0.3),
+        bimodal(n, 0.15 * nf, 0.85 * nf, 0.04 * nf + 0.3, 0.55),
+        geometric(n, 0.55),
+        peaked(n, 0.3 * nf, 0.035 * nf + 0.3),
+        peaked(n, 0.7 * nf, 0.035 * nf + 0.3),
+    ]
+}
+
+/// Cumulative distribution for fast inverse-CDF sampling.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    cum: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds the CDF of a probability vector.
+    pub fn new(probs: &[f64]) -> Self {
+        let mut cum = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for &p in probs {
+            assert!(p >= 0.0, "probabilities must be non-negative");
+            acc += p;
+            cum.push(acc);
+        }
+        // Guard against rounding: force the last entry to cover 1.0.
+        if let Some(last) = cum.last_mut() {
+            *last = f64::MAX;
+        }
+        Cdf { cum }
+    }
+
+    /// Samples a bin index.
+    #[inline]
+    pub fn sample(&self, rng: &mut StdRng) -> u32 {
+        let u: f64 = rng.gen();
+        self.cum.partition_point(|&c| c < u) as u32
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Whether the CDF is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn is_distribution(v: &[f64]) -> bool {
+        v.iter().all(|&p| p >= 0.0) && (v.iter().sum::<f64>() - 1.0).abs() < 1e-9
+    }
+
+    #[test]
+    fn all_shapes_are_distributions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [2usize, 7, 24, 351] {
+            assert!(is_distribution(&uniform(n)));
+            assert!(is_distribution(&peaked(n, n as f64 / 2.0, 1.5)));
+            assert!(is_distribution(&bimodal(n, 1.0, n as f64 - 1.0, 1.0, 0.4)));
+            assert!(is_distribution(&geometric(n, 0.8)));
+            assert!(is_distribution(&ramp(n, 3.0)));
+            assert!(is_distribution(&dirichlet_flat(n, &mut rng)));
+            for pool in background_pool(n) {
+                assert!(is_distribution(&pool));
+            }
+        }
+    }
+
+    #[test]
+    fn far_pool_is_far_from_uniform() {
+        for n in [2usize, 3, 5, 7, 12, 24, 351] {
+            let u = uniform(n);
+            for (i, shape) in far_pool(n).iter().enumerate() {
+                assert!(is_distribution(shape), "n={n} shape {i}");
+                let d: f64 = shape.iter().zip(&u).map(|(a, b)| (a - b).abs()).sum();
+                assert!(d > 0.55, "n={n} shape {i} too close to uniform: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn peaked_concentrates_at_center() {
+        let p = peaked(24, 8.0, 1.0);
+        let argmax = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(argmax, 8);
+    }
+
+    #[test]
+    fn bimodal_has_two_local_maxima() {
+        let p = bimodal(24, 4.0, 18.0, 1.5, 0.5);
+        assert!(p[4] > p[10] && p[18] > p[10]);
+    }
+
+    #[test]
+    fn perturb_zero_is_identity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = peaked(10, 3.0, 1.0);
+        let same = perturb(&base, 0.0, &mut rng);
+        for (a, b) in base.iter().zip(&same) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn perturb_distance_grows_with_amount() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = peaked(24, 6.0, 2.0);
+        let l1 = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+        };
+        // average over draws to avoid flakiness
+        let avg_dist = |amount: f64, rng: &mut StdRng| -> f64 {
+            (0..50)
+                .map(|_| l1(&base, &perturb(&base, amount, rng)))
+                .sum::<f64>()
+                / 50.0
+        };
+        let d_small = avg_dist(0.05, &mut rng);
+        let d_big = avg_dist(0.5, &mut rng);
+        assert!(d_small < d_big, "{d_small} vs {d_big}");
+        assert!(d_small > 0.0);
+    }
+
+    #[test]
+    fn cdf_sampling_matches_probabilities() {
+        let probs = vec![0.5, 0.3, 0.2];
+        let cdf = Cdf::new(&probs);
+        assert_eq!(cdf.len(), 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0u64; 3];
+        let n = 60_000;
+        for _ in 0..n {
+            counts[cdf.sample(&mut rng) as usize] += 1;
+        }
+        for (i, &p) in probs.iter().enumerate() {
+            let f = counts[i] as f64 / n as f64;
+            assert!((f - p).abs() < 0.01, "bin {i}: {f} vs {p}");
+        }
+    }
+
+    #[test]
+    fn cdf_never_returns_out_of_range() {
+        let cdf = Cdf::new(&[0.3, 0.3, 0.4]);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(cdf.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalize_zero_panics() {
+        normalize(&mut [0.0, 0.0]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Zipf-distributed candidate sizes.
+//!
+//! Real candidate attributes are heavily skewed: a few huge airports, a
+//! long tail of taxi pickup cells with almost no trips. We allocate the
+//! row budget across candidates proportionally to `1/(rank+1)^s` with a
+//! largest-remainder rounding so totals are exact.
+
+/// Zipf weights `1/(i+1)^s` for `i = 0..n` (unnormalized).
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect()
+}
+
+/// Splits `total` rows across `n` candidates with Zipf(`s`) proportions,
+/// using largest-remainder rounding so the counts sum exactly to `total`.
+pub fn zipf_sizes(n: usize, s: f64, total: u64) -> Vec<u64> {
+    assert!(n > 0, "need at least one candidate");
+    let w = zipf_weights(n, s);
+    proportional_sizes(&w, total)
+}
+
+/// Hub-and-tail weights: the first `hubs` candidates share `hub_mass` of
+/// the total weight equally; the remaining candidates share the rest with
+/// Zipf(`s`) proportions.
+///
+/// Real candidate attributes look like this — a cluster of comparably
+/// huge hubs (O'Hare-class airports, arterial roads) over a long Zipf
+/// tail — and the shape matters for the evaluation: top-k matches are
+/// planted on hubs, so their selectivities are high enough that stage-3
+/// reconstruction needs only a small fraction of the data, while the tail
+/// exercises stage-1 pruning.
+pub fn hub_zipf_weights(n: usize, hubs: usize, hub_mass: f64, s: f64) -> Vec<f64> {
+    assert!(hubs <= n, "more hubs than candidates");
+    assert!((0.0..1.0).contains(&hub_mass), "hub_mass must lie in [0, 1)");
+    let tail = n - hubs;
+    let mut w = Vec::with_capacity(n);
+    if hubs > 0 {
+        // With no tail, the hubs absorb all the mass.
+        let total_hub_mass = if tail == 0 { 1.0 } else { hub_mass };
+        let per_hub = total_hub_mass / hubs as f64;
+        w.extend(std::iter::repeat_n(per_hub, hubs));
+    }
+    if tail > 0 {
+        let zipf = zipf_weights(tail, s);
+        let zsum: f64 = zipf.iter().sum();
+        let tail_mass = 1.0 - if hubs > 0 { hub_mass } else { 0.0 };
+        w.extend(zipf.iter().map(|z| z / zsum * tail_mass));
+    }
+    w
+}
+
+/// Three-tier weights: `hubs` equal heavyweights, a Zipf(`s_mid`) middle
+/// band, and a deep tail of equal near-zero weights sharing whatever mass
+/// remains.
+///
+/// The middle band is sized so its lightest member still has selectivity
+/// comfortably *above* the pruning threshold σ, and the deep tail sits far
+/// *below* it — avoiding the band around σ where the stage-1
+/// hypergeometric test has no power at laptop-scale sample sizes. The
+/// paper's 10⁸-row datasets render that band harmless (any candidate's
+/// absolute cost is negligible at that scale); a synthetic dataset at 10⁶–
+/// 10⁷ rows must avoid it explicitly for the evaluation's *shape* to
+/// reproduce. See DESIGN.md §2.
+pub fn three_tier_weights(
+    n: usize,
+    hubs: usize,
+    hub_mass: f64,
+    mid: usize,
+    mid_mass: f64,
+    s_mid: f64,
+) -> Vec<f64> {
+    assert!(hubs + mid <= n, "tiers exceed candidate count");
+    assert!(
+        hub_mass >= 0.0 && mid_mass >= 0.0 && hub_mass + mid_mass <= 1.0,
+        "tier masses must be non-negative and sum to at most 1"
+    );
+    let deep = n - hubs - mid;
+    let deep_mass = 1.0 - hub_mass - mid_mass;
+    let mut w = Vec::with_capacity(n);
+    w.extend(std::iter::repeat_n(hub_mass / hubs.max(1) as f64, hubs));
+    if mid > 0 {
+        let z = zipf_weights(mid, s_mid);
+        let zsum: f64 = z.iter().sum();
+        w.extend(z.iter().map(|v| v / zsum * mid_mass));
+    }
+    if deep > 0 {
+        w.extend(std::iter::repeat_n(deep_mass / deep as f64, deep));
+    }
+    w
+}
+
+/// Largest-remainder apportionment of `total` across arbitrary
+/// non-negative weights.
+pub fn proportional_sizes(weights: &[f64], total: u64) -> Vec<u64> {
+    let sum: f64 = weights.iter().sum();
+    assert!(sum > 0.0, "weights must have positive sum");
+    let mut sizes: Vec<u64> = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(weights.len());
+    let mut allocated: u64 = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        let ideal = w / sum * total as f64;
+        let floor = ideal.floor() as u64;
+        sizes.push(floor);
+        allocated += floor;
+        remainders.push((ideal - floor as f64, i));
+    }
+    // Hand out the leftover rows to the largest remainders.
+    let leftover = total - allocated;
+    remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    for &(_, i) in remainders.iter().take(leftover as usize) {
+        sizes[i] += 1;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_sum_exactly() {
+        for &(n, s, total) in &[(10usize, 1.0, 1000u64), (347, 1.0, 123_457), (7641, 1.5, 999_999)] {
+            let sizes = zipf_sizes(n, s, total);
+            assert_eq!(sizes.iter().sum::<u64>(), total, "n={n} s={s}");
+            assert_eq!(sizes.len(), n);
+        }
+    }
+
+    #[test]
+    fn sizes_are_monotone_decreasing() {
+        let sizes = zipf_sizes(100, 1.2, 100_000);
+        for w in sizes.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn head_dominates_with_high_skew() {
+        let sizes = zipf_sizes(1000, 1.5, 1_000_000);
+        // the top candidate should hold a substantial share
+        assert!(sizes[0] > 300_000, "head = {}", sizes[0]);
+    }
+
+    #[test]
+    fn taxi_like_tail_is_nearly_empty() {
+        // The paper notes >3000 of 7641 taxi locations hold <10 tuples.
+        // Our default TAXI skew must reproduce that property at a few
+        // million rows.
+        let sizes = zipf_sizes(7641, 1.5, 4_000_000);
+        let tiny = sizes.iter().filter(|&&s| s < 10).count();
+        assert!(tiny > 3000, "only {tiny} candidates under 10 tuples");
+    }
+
+    #[test]
+    fn hub_weights_are_flat_then_zipf() {
+        let w = hub_zipf_weights(100, 10, 0.6, 1.2);
+        assert_eq!(w.len(), 100);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // hubs equal
+        for i in 1..10 {
+            assert!((w[i] - w[0]).abs() < 1e-15);
+        }
+        assert!((w[0] - 0.06).abs() < 1e-12);
+        // tail decreasing
+        for i in 11..99 {
+            assert!(w[i] >= w[i + 1]);
+        }
+        // tail head may exceed a hub, tail tail must be far below
+        assert!(w[99] < w[0]);
+    }
+
+    #[test]
+    fn hub_weights_degenerate_cases() {
+        // no hubs = pure zipf (normalized)
+        let w = hub_zipf_weights(5, 0, 0.0, 1.0);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // all hubs = uniform
+        let w = hub_zipf_weights(4, 4, 0.999, 1.0);
+        for x in &w {
+            assert!((x - w[0]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn three_tier_structure() {
+        let w = three_tier_weights(347, 16, 0.62, 60, 0.36, 0.7);
+        assert_eq!(w.len(), 347);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // hubs equal
+        for i in 1..16 {
+            assert!((w[i] - w[0]).abs() < 1e-15);
+        }
+        // mid decreasing, all above twice a σ = 0.0008 threshold
+        for i in 16..75 {
+            assert!(w[i] >= w[i + 1] - 1e-15);
+        }
+        assert!(w[75] > 2.0 * 0.0008, "lightest mid = {}", w[75]);
+        // deep tail well below σ
+        for i in 76..347 {
+            assert!(w[i] < 0.2 * 0.0008, "deep {i} = {}", w[i]);
+        }
+    }
+
+    #[test]
+    fn proportional_handles_zero_weights() {
+        let sizes = proportional_sizes(&[1.0, 0.0, 3.0], 8);
+        assert_eq!(sizes.iter().sum::<u64>(), 8);
+        assert_eq!(sizes[1], 0);
+        assert_eq!(sizes[2], 6);
+    }
+
+    #[test]
+    fn total_zero_gives_all_zero() {
+        let sizes = zipf_sizes(5, 1.0, 0);
+        assert_eq!(sizes, vec![0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn all_zero_weights_panic() {
+        proportional_sizes(&[0.0, 0.0], 10);
+    }
+}

@@ -1,0 +1,335 @@
+//! `FastMatch`: AnyActive block selection with asynchronous,
+//! cache-conscious lookahead (paper §4).
+//!
+//! Two threads, mirroring Figure 6:
+//!
+//! * the **sampling engine** (lookahead thread) walks the block sequence in
+//!   windows of `lookahead` blocks, marking each window for reading or
+//!   skipping with Algorithm 3 (one pass over each active candidate's
+//!   bitmap row per window), and streams read decisions through a bounded
+//!   channel;
+//! * the **I/O manager + statistics engine** (caller thread) consumes the
+//!   marked blocks, ingests tuples into HistSim, advances its stages, and
+//!   publishes fresh per-candidate demand through [`SharedDemand`].
+//!
+//! The channel's capacity equals the lookahead amount, so block selection
+//! runs at most one window ahead of I/O — exactly the freshness/decoupling
+//! trade-off of §4.2 Challenge 4. Active states seen by the sampling
+//! engine may be slightly stale; correctness is unaffected (stale reads
+//! only deliver extra valid samples), only efficiency is at stake.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use fastmatch_core::error::{CoreError, Result};
+use fastmatch_core::histsim::{HistSim, PhaseKind};
+use fastmatch_store::bitmap::BitmapIndex;
+use fastmatch_store::io::BlockReader;
+
+use crate::exec::{start_block, Executor};
+use crate::policy::mark_lookahead;
+use crate::progress::ConsumptionTracker;
+use crate::query::QueryJob;
+use crate::result::{MatchOutput, RunStats};
+use crate::shared::{DemandMode, SharedDemand};
+
+/// Default lookahead window (paper default, §5.2).
+pub const DEFAULT_LOOKAHEAD: usize = 1024;
+
+/// How often (in blocks read) the I/O thread republishes per-candidate
+/// demand. Staleness of a few blocks is negligible next to the lookahead
+/// window itself.
+const PUBLISH_EVERY: u64 = 16;
+
+
+/// The full FastMatch executor.
+#[derive(Debug, Clone, Copy)]
+pub struct FastMatchExec {
+    /// Lookahead window in blocks.
+    pub lookahead: usize,
+}
+
+impl Default for FastMatchExec {
+    fn default() -> Self {
+        FastMatchExec {
+            lookahead: DEFAULT_LOOKAHEAD,
+        }
+    }
+}
+
+impl FastMatchExec {
+    /// Creates the executor with a custom lookahead window.
+    pub fn with_lookahead(lookahead: usize) -> Self {
+        assert!(lookahead > 0, "lookahead must be positive");
+        FastMatchExec { lookahead }
+    }
+}
+
+/// Messages from the sampling engine to the I/O manager — one batch per
+/// marked lookahead window, so channel traffic (and any backpressure
+/// parking) is amortized over the whole window.
+enum Msg {
+    /// One window's decisions: contiguous `(start, len)` runs of blocks to
+    /// read, plus the number of blocks the window skipped.
+    Batch {
+        /// Contiguous block runs to read, in scan order.
+        runs: Vec<(u32, u32)>,
+        /// Blocks skipped by AnyActive in this window.
+        skipped: u32,
+    },
+    /// A full pass over the block sequence finished.
+    PassEnd,
+    /// Every block has been marked for reading at some point: the table is
+    /// fully consumed once the channel drains.
+    Exhausted,
+}
+
+impl Executor for FastMatchExec {
+    fn name(&self) -> &'static str {
+        "FastMatch"
+    }
+
+    fn run(&self, job: &QueryJob<'_>, seed: u64) -> Result<MatchOutput> {
+        let t0 = Instant::now();
+        let mut hs = HistSim::new(
+            job.cfg.clone(),
+            job.num_candidates(),
+            job.num_groups(),
+            job.table.n_rows() as u64,
+            &job.target,
+        )?;
+        let mut tracker = ConsumptionTracker::new(job.bitmap);
+        let absent: Vec<u32> = tracker.never_present().collect();
+        for c in absent {
+            hs.mark_exact(c);
+        }
+
+        let nb = job.layout.num_blocks();
+        let start = start_block(nb, seed);
+        let shared = Arc::new(SharedDemand::new(job.num_candidates()));
+        shared.set_mode(DemandMode::ReadAll); // stage 1
+
+        // One message per lookahead window; capacity 2 keeps the sampling
+        // engine at most two windows ahead of I/O (§4.2 Challenge 4's
+        // freshness bound).
+        let (tx, rx) = bounded::<Msg>(2);
+        let lookahead = self.lookahead;
+        let bitmap = job.bitmap;
+        let shared_for_marker = Arc::clone(&shared);
+
+        let mut result: Option<Result<MatchOutput>> = None;
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                sampling_engine(bitmap, &shared_for_marker, tx, nb, start, lookahead);
+            });
+            let r = io_and_stats_loop(job, &mut hs, &mut tracker, &shared, rx, t0);
+            shared.set_mode(DemandMode::Stop);
+            result = Some(r);
+        });
+        result.expect("scope completed")
+    }
+}
+
+/// The lookahead thread: Algorithm 3 over windows, multi-pass with a
+/// visited set so skipped blocks stay eligible for later rounds.
+fn sampling_engine(
+    bitmap: &BitmapIndex,
+    shared: &SharedDemand,
+    tx: Sender<Msg>,
+    nb: usize,
+    start: usize,
+    lookahead: usize,
+) {
+    let mut visited = vec![false; nb];
+    let mut visited_count = 0usize;
+    let mut marks = vec![false; lookahead];
+    'outer: loop {
+        if shared.mode() == DemandMode::Stop {
+            break;
+        }
+        let pass_epoch = shared.epoch();
+        let mut sent_this_pass = false;
+        let mut off = 0usize;
+        while off < nb {
+            let mode = shared.mode();
+            if mode == DemandMode::Stop {
+                break 'outer;
+            }
+            let win = lookahead.min(nb - off);
+            match mode {
+                DemandMode::Stop => break 'outer,
+                DemandMode::ReadAll => marks[..win].iter_mut().for_each(|m| *m = true),
+                DemandMode::AnyActive => {
+                    marks[..win].iter_mut().for_each(|m| *m = false);
+                    let active = shared.active_candidates();
+                    // The window's offsets map to at most two contiguous
+                    // block ranges (wrap at nb).
+                    let s0 = (start + off) % nb;
+                    let first_len = win.min(nb - s0);
+                    mark_lookahead(bitmap, &active, s0, &mut marks[..first_len]);
+                    if first_len < win {
+                        mark_lookahead(bitmap, &active, 0, &mut marks[first_len..win]);
+                    }
+                }
+            }
+            // Collect the window's decisions as maximal contiguous runs
+            // and ship them as a single message.
+            let mut skipped = 0u32;
+            let mut runs: Vec<(u32, u32)> = Vec::new();
+            let mut run_start = 0usize;
+            let mut run_len = 0u32;
+            for (i, &marked) in marks[..win].iter().enumerate() {
+                let b = (start + off + i) % nb;
+                if !visited[b] && marked {
+                    visited[b] = true;
+                    visited_count += 1;
+                    sent_this_pass = true;
+                    if run_len > 0 && b == run_start + run_len as usize {
+                        run_len += 1;
+                    } else {
+                        if run_len > 0 {
+                            runs.push((run_start as u32, run_len));
+                        }
+                        run_start = b;
+                        run_len = 1;
+                    }
+                } else if !visited[b] {
+                    skipped += 1;
+                }
+            }
+            if run_len > 0 {
+                runs.push((run_start as u32, run_len));
+            }
+            if (!runs.is_empty() || skipped > 0)
+                && tx.send(Msg::Batch { runs, skipped }).is_err()
+            {
+                break 'outer;
+            }
+            off += win;
+        }
+        if visited_count == nb {
+            let _ = tx.send(Msg::Exhausted);
+            break;
+        }
+        if tx.send(Msg::PassEnd).is_err() {
+            break;
+        }
+        if !sent_this_pass {
+            // Nothing readable under the demand snapshot this pass saw:
+            // re-marking the whole sequence with identical demand would be
+            // wasted work, so wait for the statistics engine to publish a
+            // new epoch (or stop).
+            while shared.epoch() == pass_epoch && shared.mode() != DemandMode::Stop {
+                std::thread::sleep(Duration::from_micros(20));
+            }
+        }
+    }
+}
+
+/// The I/O manager + statistics engine on the caller thread.
+fn io_and_stats_loop(
+    job: &QueryJob<'_>,
+    hs: &mut HistSim,
+    tracker: &mut ConsumptionTracker,
+    shared: &SharedDemand,
+    rx: Receiver<Msg>,
+    t0: Instant,
+) -> Result<MatchOutput> {
+    let mut reader = BlockReader::new(job.table, job.layout)
+        .with_simulated_latency(job.block_latency_ns);
+    let mut reads_since_publish = 0u64;
+    let mut had_read_since_pass_end = true;
+    let mut idle_passes = 0u32;
+
+    // The initial phase may already be satisfied (degenerate configs).
+    advance_and_publish(hs, shared)?;
+
+    while !hs.is_done() {
+        let msg = match rx.recv() {
+            Ok(m) => m,
+            Err(_) => {
+                return Err(CoreError::PhaseViolation(
+                    "sampling engine terminated early".into(),
+                ))
+            }
+        };
+        match msg {
+            Msg::Batch { runs, skipped } => {
+                reader.skip_blocks(skipped as u64);
+                for (start, len) in runs {
+                    had_read_since_pass_end = true;
+                    for b in start..start + len {
+                        if hs.is_done() {
+                            break;
+                        }
+                        let (zs, xs) = reader.block_slices(b as usize, job.z_attr, job.x_attr);
+                        hs.ingest_block(zs, xs);
+                        tracker.block_read(b as usize, zs, |c| hs.mark_exact(c));
+                        reads_since_publish += 1;
+                        if hs.io_satisfied() || reads_since_publish >= PUBLISH_EVERY {
+                            advance_and_publish(hs, shared)?;
+                            reads_since_publish = 0;
+                        }
+                    }
+                }
+            }
+            Msg::PassEnd => {
+                advance_and_publish(hs, shared)?;
+                if had_read_since_pass_end {
+                    idle_passes = 0;
+                } else {
+                    // Several idle passes in a row can be legitimate: the
+                    // sampling engine may queue PassEnd messages faster
+                    // than fresh demand propagates to it. Only a long
+                    // sustained streak (the engine sleeps 100µs per idle
+                    // pass) indicates a genuine bug.
+                    idle_passes += 1;
+                    if idle_passes >= 1000 && !hs.is_done() {
+                        return Err(CoreError::PhaseViolation(
+                            "no readable blocks for outstanding demand".into(),
+                        ));
+                    }
+                }
+                had_read_since_pass_end = false;
+            }
+            Msg::Exhausted => {
+                advance_and_publish(hs, shared)?;
+                if !hs.is_done() {
+                    hs.complete_io_phase(true)?;
+                }
+            }
+        }
+    }
+    shared.set_mode(DemandMode::Stop);
+    drop(rx); // unblock the sampling engine
+
+    let output = hs.output()?;
+    let stats = RunStats {
+        wall: t0.elapsed(),
+        io: reader.stats(),
+        stage2_rounds: output.diagnostics.stage2_rounds,
+        samples: output.diagnostics.total_samples,
+        exact_finish: output.diagnostics.exact_finish,
+        pruned: output.diagnostics.pruned_candidates,
+    };
+    Ok(MatchOutput { output, stats })
+}
+
+/// Advances HistSim through any satisfied phases and publishes the
+/// resulting demand snapshot for the sampling engine.
+fn advance_and_publish(hs: &mut HistSim, shared: &SharedDemand) -> Result<()> {
+    while hs.io_satisfied() && !hs.is_done() {
+        hs.complete_io_phase(false)?;
+    }
+    match hs.phase() {
+        PhaseKind::Stage1 => shared.set_mode(DemandMode::ReadAll),
+        PhaseKind::Stage2 | PhaseKind::Stage3 => {
+            shared.publish_remaining(hs.remaining_slice());
+            shared.set_mode(DemandMode::AnyActive);
+        }
+        PhaseKind::Done => shared.set_mode(DemandMode::Stop),
+    }
+    Ok(())
+}

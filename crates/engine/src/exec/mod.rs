@@ -1,0 +1,157 @@
+//! Query executors.
+//!
+//! [`Executor`] is the common interface; the four implementations form the
+//! §5.2 comparison ladder (each adds exactly one mechanism):
+//! `Scan` → `ScanMatch` (approximation) → `SyncMatch` (AnyActive block
+//! skipping) → `FastMatch` (asynchronous cache-conscious lookahead).
+
+mod fast_match;
+mod scan;
+mod scan_match;
+mod sync_match;
+
+pub use fast_match::FastMatchExec;
+pub use scan::ScanExec;
+pub use scan_match::ScanMatchExec;
+pub use sync_match::SyncMatchExec;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+use fastmatch_core::error::{CoreError, Result};
+use fastmatch_core::histsim::{HistSim, PhaseKind};
+use fastmatch_store::io::BlockReader;
+
+use crate::progress::ConsumptionTracker;
+use crate::query::QueryJob;
+use crate::result::{MatchOutput, RunStats};
+
+/// A query executor: runs one top-k histogram-matching query to
+/// completion. `seed` controls the random scan start position (each run of
+/// an approximate executor starts from a random offset in the permuted
+/// data, as in §5.2).
+pub trait Executor {
+    /// Human-readable executor name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Runs the query.
+    fn run(&self, job: &QueryJob<'_>, seed: u64) -> Result<MatchOutput>;
+}
+
+/// Picks the random start block for a run.
+pub(crate) fn start_block(num_blocks: usize, seed: u64) -> usize {
+    if num_blocks == 0 {
+        return 0;
+    }
+    StdRng::seed_from_u64(seed).gen_range(0..num_blocks)
+}
+
+/// Per-block read/skip decision for the synchronous executors.
+pub(crate) enum BlockPolicy {
+    /// Read every unread block (ScanMatch).
+    ReadAll,
+    /// Probe active candidates' bitmaps per block, Algorithm 2 style
+    /// (SyncMatch).
+    SyncAnyActive,
+}
+
+/// The shared synchronous driver behind `ScanMatch` and `SyncMatch`: a
+/// wrap-around multi-pass cursor over blocks, ingesting read blocks into
+/// HistSim and advancing its phases as demand is met.
+pub(crate) fn run_sequential(
+    job: &QueryJob<'_>,
+    seed: u64,
+    policy: BlockPolicy,
+) -> Result<MatchOutput> {
+    let t0 = Instant::now();
+    let mut hs = HistSim::new(
+        job.cfg.clone(),
+        job.num_candidates(),
+        job.num_groups(),
+        job.table.n_rows() as u64,
+        &job.target,
+    )?;
+    let mut reader = BlockReader::new(job.table, job.layout)
+        .with_simulated_latency(job.block_latency_ns);
+    let mut tracker = ConsumptionTracker::new(job.bitmap);
+    let absent: Vec<u32> = tracker.never_present().collect();
+    for c in absent {
+        hs.mark_exact(c);
+    }
+
+    let nb = job.layout.num_blocks();
+    let start = start_block(nb, seed);
+    let mut read = vec![false; nb];
+    let mut blocks_read_total = 0usize;
+    let mut idle_passes = 0u32;
+
+    'outer: loop {
+        let mut pass_had_reads = false;
+        for off in 0..nb {
+            let b = (start + off) % nb;
+            if read[b] {
+                continue;
+            }
+            while hs.io_satisfied() && !hs.is_done() {
+                hs.complete_io_phase(false)?;
+            }
+            if hs.is_done() {
+                break 'outer;
+            }
+            let do_read = match hs.phase() {
+                PhaseKind::Stage1 => true,
+                PhaseKind::Stage2 | PhaseKind::Stage3 => match policy {
+                    BlockPolicy::ReadAll => true,
+                    BlockPolicy::SyncAnyActive => {
+                        // Honest Algorithm 2: probe one candidate bitmap at
+                        // a time until a hit — the cache-hostile pattern
+                        // whose cost §5.4 quantifies.
+                        (0..job.num_candidates() as u32)
+                            .any(|c| hs.is_active(c) && job.bitmap.block_has(c, b))
+                    }
+                },
+                PhaseKind::Done => break 'outer,
+            };
+            if do_read {
+                let (zs, xs) = reader.block_slices(b, job.z_attr, job.x_attr);
+                hs.ingest_block(zs, xs);
+                tracker.block_read(b, zs, |c| hs.mark_exact(c));
+                read[b] = true;
+                blocks_read_total += 1;
+                pass_had_reads = true;
+            } else {
+                reader.skip_block(b);
+            }
+        }
+        while hs.io_satisfied() && !hs.is_done() {
+            hs.complete_io_phase(false)?;
+        }
+        if hs.is_done() {
+            break;
+        }
+        if blocks_read_total == nb {
+            hs.complete_io_phase(true)?;
+            break;
+        }
+        idle_passes = if pass_had_reads { 0 } else { idle_passes + 1 };
+        if idle_passes >= 2 {
+            // Should be impossible: demand on a candidate implies unread
+            // blocks containing it. Fail loudly rather than spin.
+            return Err(CoreError::PhaseViolation(
+                "no readable blocks for outstanding demand".into(),
+            ));
+        }
+    }
+
+    let output = hs.output()?;
+    let stats = RunStats {
+        wall: t0.elapsed(),
+        io: reader.stats(),
+        stage2_rounds: output.diagnostics.stage2_rounds,
+        samples: output.diagnostics.total_samples,
+        exact_finish: output.diagnostics.exact_finish,
+        pruned: output.diagnostics.pruned_candidates,
+    };
+    Ok(MatchOutput { output, stats })
+}

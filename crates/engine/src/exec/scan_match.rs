@@ -1,0 +1,28 @@
+//! `ScanMatch`: HistSim termination over a plain sequential scan
+//! (paper §5.2).
+//!
+//! No block is ever skipped — the executor simply stops scanning once
+//! HistSim's statistical termination criterion is met. Comparing against
+//! [`super::ScanExec`] isolates the benefit of *approximation*; comparing
+//! [`super::SyncMatchExec`] against this isolates the benefit of
+//! *AnyActive block selection*.
+
+use fastmatch_core::error::Result;
+
+use crate::exec::{run_sequential, BlockPolicy, Executor};
+use crate::query::QueryJob;
+use crate::result::MatchOutput;
+
+/// Sequential-scan executor with HistSim early termination.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanMatchExec;
+
+impl Executor for ScanMatchExec {
+    fn name(&self) -> &'static str {
+        "ScanMatch"
+    }
+
+    fn run(&self, job: &QueryJob<'_>, seed: u64) -> Result<MatchOutput> {
+        run_sequential(job, seed, BlockPolicy::ReadAll)
+    }
+}

@@ -1,0 +1,34 @@
+//! # fastmatch-engine
+//!
+//! The FastMatch system (paper §4): executors that drive the HistSim
+//! state machine over the block storage substrate.
+//!
+//! Four executors mirror the paper's §5.2 comparison lineup; each differs
+//! from the next in exactly one mechanism, so comparing adjacent pairs
+//! isolates one design decision:
+//!
+//! * [`exec::ScanExec`] — exact full scan (no approximation);
+//! * [`exec::ScanMatchExec`] — HistSim termination, sequential blocks, no
+//!   skipping (adds *approximation*);
+//! * [`exec::SyncMatchExec`] — AnyActive block selection applied
+//!   synchronously per block, Algorithm 2 style (adds *block skipping*);
+//! * [`exec::FastMatchExec`] — AnyActive with asynchronous, cache-conscious
+//!   lookahead on a separate sampling-engine thread, Algorithm 3 style
+//!   (adds *decoupled lookahead*).
+//!
+//! All approximate executors provide the same Guarantee 1/2 semantics; they
+//! differ only in how fast they reach HistSim's termination conditions.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod exec;
+pub mod policy;
+pub mod progress;
+pub mod query;
+pub mod result;
+pub mod shared;
+
+pub use exec::{Executor, FastMatchExec, ScanExec, ScanMatchExec, SyncMatchExec};
+pub use query::QueryJob;
+pub use result::{MatchOutput, RunStats};

@@ -1,0 +1,101 @@
+//! Block-selection policies (paper §4.2, Challenge 3).
+//!
+//! The *AnyActive* policy reads a block iff it contains at least one tuple
+//! of an *active* candidate (one that still needs samples this round).
+//! Two implementations mirror the paper's Algorithms 2 and 3:
+//!
+//! * [`any_active_naive`] — per block, probe each active candidate's
+//!   bitmap until one hits (Algorithm 2). Correct but cache-hostile when
+//!   `|V_Z|` is large: each probe pulls a cache line of a different
+//!   bitmap row and uses one bit of it.
+//! * [`mark_lookahead`] — per *window* of blocks, OR each active
+//!   candidate's bitmap row into a mark array (Algorithm 3). Each cache
+//!   line of the bitmap is consumed fully, which is what makes FastMatch's
+//!   lookahead thread cheap.
+
+use fastmatch_store::bitmap::BitmapIndex;
+
+/// Algorithm 2: should block `b` be read, given the active candidates?
+/// Probes candidates in order and stops at the first hit.
+pub fn any_active_naive<'a>(
+    bitmap: &BitmapIndex,
+    active: impl IntoIterator<Item = &'a u32>,
+    b: usize,
+) -> bool {
+    for &c in active {
+        if bitmap.block_has(c, b) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Algorithm 3: fills `marks[i] = true` iff block `start + i` contains at
+/// least one active candidate. `marks` must be pre-cleared; entries beyond
+/// the bitmap's block count are left untouched.
+pub fn mark_lookahead<'a>(
+    bitmap: &BitmapIndex,
+    active: impl IntoIterator<Item = &'a u32>,
+    start: usize,
+    marks: &mut [bool],
+) {
+    for &c in active {
+        bitmap.mark_active_range(c, start, marks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmatch_store::block::BlockLayout;
+    use fastmatch_store::schema::{AttrDef, Schema};
+    use fastmatch_store::table::Table;
+
+    /// 8 blocks of 4 rows; candidate c appears only in block c (c < 8).
+    fn diagonal_table() -> (Table, BlockLayout) {
+        let col: Vec<u32> = (0..32).map(|r| r / 4).collect();
+        let schema = Schema::new(vec![AttrDef::new("z", 8)]);
+        (Table::new(schema, vec![col]), BlockLayout::new(32, 4))
+    }
+
+    #[test]
+    fn naive_finds_active_blocks() {
+        let (t, l) = diagonal_table();
+        let idx = fastmatch_store::bitmap::BitmapIndex::build(&t, 0, &l);
+        let active = vec![2u32, 5];
+        for b in 0..8 {
+            let expect = b == 2 || b == 5;
+            assert_eq!(any_active_naive(&idx, &active, b), expect, "block {b}");
+        }
+    }
+
+    #[test]
+    fn naive_with_no_active_reads_nothing() {
+        let (t, l) = diagonal_table();
+        let idx = fastmatch_store::bitmap::BitmapIndex::build(&t, 0, &l);
+        for b in 0..8 {
+            assert!(!any_active_naive(&idx, &[], b));
+        }
+    }
+
+    #[test]
+    fn lookahead_matches_naive() {
+        let (t, l) = diagonal_table();
+        let idx = fastmatch_store::bitmap::BitmapIndex::build(&t, 0, &l);
+        let active = vec![1u32, 3, 6];
+        let mut marks = vec![false; 8];
+        mark_lookahead(&idx, &active, 0, &mut marks);
+        for b in 0..8 {
+            assert_eq!(marks[b], any_active_naive(&idx, &active, b), "block {b}");
+        }
+    }
+
+    #[test]
+    fn lookahead_window_offset() {
+        let (t, l) = diagonal_table();
+        let idx = fastmatch_store::bitmap::BitmapIndex::build(&t, 0, &l);
+        let mut marks = vec![false; 3];
+        mark_lookahead(&idx, &[4u32], 3, &mut marks);
+        assert_eq!(marks, vec![false, true, false]); // block 4 at offset 1
+    }
+}

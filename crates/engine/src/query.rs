@@ -1,0 +1,154 @@
+//! A fully prepared query: table, layout, index, target and parameters.
+
+use fastmatch_core::histsim::HistSimConfig;
+use fastmatch_store::bitmap::BitmapIndex;
+use fastmatch_store::block::BlockLayout;
+use fastmatch_store::table::Table;
+
+/// Everything an executor needs to run one top-k histogram-matching query.
+///
+/// The table is expected to be pre-shuffled (the store's permutation
+/// preprocessing); the bitmap index must cover the candidate attribute
+/// under the same layout.
+#[derive(Debug)]
+pub struct QueryJob<'a> {
+    /// The (shuffled) data.
+    pub table: &'a Table,
+    /// Block granularity.
+    pub layout: BlockLayout,
+    /// Bitmap index over the candidate attribute.
+    pub bitmap: &'a BitmapIndex,
+    /// Candidate attribute (`Z`) index.
+    pub z_attr: usize,
+    /// Grouping attribute (`X`) index.
+    pub x_attr: usize,
+    /// Normalized visual target `q̄` (length `|V_X|`).
+    pub target: Vec<f64>,
+    /// HistSim parameters.
+    pub cfg: HistSimConfig,
+    /// Simulated extra latency per block read, in nanoseconds (0 = pure
+    /// in-memory). Lets experiments model storage-bound systems where
+    /// block fetch dominates — the regime the paper's 2012-era testbed
+    /// sits closer to.
+    pub block_latency_ns: u64,
+}
+
+impl<'a> QueryJob<'a> {
+    /// Builds a job, validating that the layout and index agree with the
+    /// table and that the target matches the grouping cardinality.
+    pub fn new(
+        table: &'a Table,
+        layout: BlockLayout,
+        bitmap: &'a BitmapIndex,
+        z_attr: usize,
+        x_attr: usize,
+        target: Vec<f64>,
+        cfg: HistSimConfig,
+    ) -> Self {
+        assert_eq!(layout.n_rows(), table.n_rows(), "layout/table mismatch");
+        assert_eq!(
+            bitmap.num_blocks(),
+            layout.num_blocks(),
+            "bitmap/layout mismatch"
+        );
+        assert_eq!(
+            bitmap.num_values(),
+            table.cardinality(z_attr) as usize,
+            "bitmap must index the candidate attribute"
+        );
+        assert_eq!(
+            target.len(),
+            table.cardinality(x_attr) as usize,
+            "target arity must equal |V_X|"
+        );
+        QueryJob {
+            table,
+            layout,
+            bitmap,
+            z_attr,
+            x_attr,
+            target,
+            cfg,
+            block_latency_ns: 0,
+        }
+    }
+
+    /// Sets the simulated per-block read latency.
+    pub fn with_block_latency_ns(mut self, ns: u64) -> Self {
+        self.block_latency_ns = ns;
+        self
+    }
+
+    /// Candidate cardinality `|V_Z|`.
+    pub fn num_candidates(&self) -> usize {
+        self.table.cardinality(self.z_attr) as usize
+    }
+
+    /// Grouping cardinality `|V_X|`.
+    pub fn num_groups(&self) -> usize {
+        self.table.cardinality(self.x_attr) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmatch_store::schema::{AttrDef, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![AttrDef::new("z", 3), AttrDef::new("x", 2)]);
+        Table::new(schema, vec![vec![0, 1, 2, 0], vec![0, 1, 0, 1]])
+    }
+
+    #[test]
+    fn job_construction_validates() {
+        let t = table();
+        let layout = BlockLayout::new(4, 2);
+        let idx = BitmapIndex::build(&t, 0, &layout);
+        let job = QueryJob::new(
+            &t,
+            layout,
+            &idx,
+            0,
+            1,
+            vec![0.5, 0.5],
+            HistSimConfig::default(),
+        );
+        assert_eq!(job.num_candidates(), 3);
+        assert_eq!(job.num_groups(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "target arity")]
+    fn wrong_target_arity_panics() {
+        let t = table();
+        let layout = BlockLayout::new(4, 2);
+        let idx = BitmapIndex::build(&t, 0, &layout);
+        QueryJob::new(
+            &t,
+            layout,
+            &idx,
+            0,
+            1,
+            vec![0.5, 0.25, 0.25],
+            HistSimConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bitmap must index")]
+    fn bitmap_attribute_mismatch_panics() {
+        let t = table();
+        let layout = BlockLayout::new(4, 2);
+        let idx = BitmapIndex::build(&t, 1, &layout); // wrong attribute
+        QueryJob::new(
+            &t,
+            layout,
+            &idx,
+            0,
+            1,
+            vec![0.5, 0.5],
+            HistSimConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Lock-free state shared between FastMatch's statistics/I/O side and its
+//! lookahead (sampling-engine) thread (paper §4.2, Challenge 4).
+//!
+//! The lookahead thread needs each candidate's *active* status to apply
+//! AnyActive selection; the main thread owns the authoritative HistSim
+//! demand and publishes snapshots here. Freshness is deliberately relaxed
+//! — the whole point of lookahead is that slightly stale active states are
+//! acceptable in exchange for never blocking I/O.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Demand mode published to the lookahead thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemandMode {
+    /// Read every unread block (stage 1 and exact fallback).
+    ReadAll,
+    /// Apply AnyActive selection with the published per-candidate demand.
+    AnyActive,
+    /// The run is over; the lookahead thread should exit.
+    Stop,
+}
+
+/// Shared demand snapshot: a mode flag plus per-candidate outstanding
+/// sample counts (0 ⇒ inactive).
+#[derive(Debug)]
+pub struct SharedDemand {
+    mode: AtomicU8,
+    epoch: AtomicU64,
+    remaining: Vec<AtomicU64>,
+}
+
+impl SharedDemand {
+    /// Creates the snapshot in `ReadAll` mode with zero demand.
+    pub fn new(num_candidates: usize) -> Self {
+        SharedDemand {
+            mode: AtomicU8::new(0),
+            epoch: AtomicU64::new(0),
+            remaining: (0..num_candidates).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Publishes a new mode.
+    pub fn set_mode(&self, mode: DemandMode) {
+        let v = match mode {
+            DemandMode::ReadAll => 0,
+            DemandMode::AnyActive => 1,
+            DemandMode::Stop => 2,
+        };
+        self.mode.store(v, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Monotone counter bumped on every publication; lets an idle reader
+    /// wait for *new* demand instead of re-scanning unchanged state.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Reads the current mode.
+    pub fn mode(&self) -> DemandMode {
+        match self.mode.load(Ordering::Acquire) {
+            0 => DemandMode::ReadAll,
+            1 => DemandMode::AnyActive,
+            _ => DemandMode::Stop,
+        }
+    }
+
+    /// Publishes the full per-candidate demand vector.
+    pub fn publish_remaining(&self, remaining: &[u64]) {
+        debug_assert_eq!(remaining.len(), self.remaining.len());
+        for (slot, &v) in self.remaining.iter().zip(remaining) {
+            slot.store(v, Ordering::Relaxed);
+        }
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Whether candidate `c` is currently active (possibly stale).
+    #[inline]
+    pub fn is_active(&self, c: usize) -> bool {
+        self.remaining[c].load(Ordering::Relaxed) > 0
+    }
+
+    /// Snapshot of the active candidate ids (used per lookahead window).
+    pub fn active_candidates(&self) -> Vec<u32> {
+        self.remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.load(Ordering::Relaxed) > 0)
+            .map(|(c, _)| c as u32)
+            .collect()
+    }
+
+    /// Number of candidates tracked.
+    pub fn len(&self) -> usize {
+        self.remaining.len()
+    }
+
+    /// Whether the snapshot tracks no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.remaining.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_roundtrip() {
+        let s = SharedDemand::new(3);
+        assert_eq!(s.mode(), DemandMode::ReadAll);
+        s.set_mode(DemandMode::AnyActive);
+        assert_eq!(s.mode(), DemandMode::AnyActive);
+        s.set_mode(DemandMode::Stop);
+        assert_eq!(s.mode(), DemandMode::Stop);
+    }
+
+    #[test]
+    fn demand_publication() {
+        let s = SharedDemand::new(4);
+        assert!(s.active_candidates().is_empty());
+        s.publish_remaining(&[0, 5, 0, 2]);
+        assert!(!s.is_active(0));
+        assert!(s.is_active(1));
+        assert_eq!(s.active_candidates(), vec![1, 3]);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn cross_thread_visibility() {
+        use std::sync::Arc;
+        let s = Arc::new(SharedDemand::new(2));
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || {
+            s2.publish_remaining(&[7, 0]);
+            s2.set_mode(DemandMode::AnyActive);
+        });
+        h.join().unwrap();
+        assert_eq!(s.mode(), DemandMode::AnyActive);
+        assert!(s.is_active(0));
+    }
+}

@@ -1,0 +1,233 @@
+//! Cross-executor integration tests: all four executors must return
+//! guarantee-satisfying answers on structured synthetic data, and the
+//! approximate ones must agree with the exact scan up to the paper's
+//! tolerance semantics.
+
+use fastmatch_core::guarantees::GroundTruth;
+use fastmatch_core::histsim::HistSimConfig;
+use fastmatch_core::Metric;
+use fastmatch_data::gen::{conditional_with_planted, generate_table, ColumnGen, ColumnSpec};
+use fastmatch_data::shapes::uniform;
+use fastmatch_engine::exec::{Executor, FastMatchExec, ScanExec, ScanMatchExec, SyncMatchExec};
+use fastmatch_engine::query::QueryJob;
+use fastmatch_store::bitmap::BitmapIndex;
+use fastmatch_store::block::BlockLayout;
+use fastmatch_store::table::Table;
+
+/// A 60-candidate dataset with 5 planted near-uniform candidates.
+///
+/// Sizes follow Zipf(1.2): the planted members (ids ≤ 15) all hold enough
+/// tuples for stage-3 reconstruction to be cheaper than a full pass, the
+/// tail is sparse enough for stage-1 pruning and block skipping to matter.
+fn test_table(rows: usize, seed: u64) -> Table {
+    // A tight cluster of five planted matches (τ ≈ 0 … 0.04) and a far
+    // background pool (τ ≳ 0.3): the top-k boundary gap is wide, so
+    // stage-2 demands stay small relative to candidate sizes once the
+    // table is a million-plus rows.
+    let dists = conditional_with_planted(
+        60,
+        &uniform(8),
+        &[(0, 0.0), (2, 0.015), (5, 0.03), (9, 0.04), (15, 0.05)],
+        0.20,
+        seed ^ 0xab,
+    );
+    let specs = vec![
+        ColumnSpec::new("z", 60, ColumnGen::PrimaryZipf { s: 1.2 }),
+        ColumnSpec::new(
+            "x",
+            8,
+            ColumnGen::Conditional {
+                parent: 0,
+                dists,
+            },
+        ),
+    ];
+    generate_table(&specs, rows, seed)
+}
+
+fn config() -> HistSimConfig {
+    HistSimConfig {
+        k: 5,
+        epsilon: 0.1,
+        delta: 0.05,
+        sigma: 0.01,
+        stage1_samples: 20_000,
+        ..HistSimConfig::default()
+    }
+}
+
+/// Rows for the I/O-reduction tests: large enough that HistSim's (scale-
+/// free) sample complexity is well below a full pass.
+const IO_TEST_ROWS: usize = 1_500_000;
+
+fn run_all(rows: usize, seed: u64) -> Vec<(String, fastmatch_engine::result::MatchOutput)> {
+    let table = test_table(rows, seed);
+    let layout = BlockLayout::new(table.n_rows(), 64);
+    let bitmap = BitmapIndex::build(&table, 0, &layout);
+    let target = uniform(8);
+    let job = QueryJob::new(&table, layout, &bitmap, 0, 1, target, config());
+    let execs: Vec<Box<dyn Executor>> = vec![
+        Box::new(ScanExec),
+        Box::new(ScanMatchExec),
+        Box::new(SyncMatchExec),
+        Box::new(FastMatchExec::with_lookahead(64)),
+    ];
+    execs
+        .into_iter()
+        .map(|e| {
+            let out = e.run(&job, seed.wrapping_add(1)).unwrap_or_else(|_| panic!("{}", e.name()));
+            (e.name().to_string(), out)
+        })
+        .collect()
+}
+
+fn ground_truth(table: &Table) -> GroundTruth {
+    GroundTruth::from_tuples(
+        table
+            .column(0)
+            .iter()
+            .zip(table.column(1))
+            .map(|(&z, &x)| (z, x)),
+        60,
+        8,
+        uniform(8),
+        Metric::L1,
+    )
+}
+
+#[test]
+fn all_executors_satisfy_guarantees() {
+    let rows = 300_000;
+    let table = test_table(rows, 11);
+    let gt = ground_truth(&table);
+    let cfg = config();
+    for (name, out) in run_all(rows, 11) {
+        let ids = out.candidate_ids();
+        assert_eq!(ids.len(), cfg.k, "{name}: wrong k");
+        assert!(
+            gt.check_separation(&ids, cfg.epsilon, cfg.sigma),
+            "{name}: separation violated, ids {ids:?}, true {:?}",
+            gt.true_topk(cfg.k, cfg.sigma)
+        );
+        assert!(
+            gt.check_reconstruction(&out.output.matches, cfg.epsilon),
+            "{name}: reconstruction violated"
+        );
+    }
+}
+
+#[test]
+fn scan_returns_the_exact_topk() {
+    let rows = 150_000;
+    let table = test_table(rows, 7);
+    let gt = ground_truth(&table);
+    let layout = BlockLayout::new(table.n_rows(), 64);
+    let bitmap = BitmapIndex::build(&table, 0, &layout);
+    let job = QueryJob::new(&table, layout, &bitmap, 0, 1, uniform(8), config());
+    let out = ScanExec.run(&job, 0).unwrap();
+    assert_eq!(out.candidate_ids(), gt.true_topk(5, config().sigma));
+    assert!(out.stats.exact_finish);
+    assert_eq!(out.stats.io.blocks_read as usize, layout.num_blocks());
+}
+
+#[test]
+fn approximate_executors_read_less_than_scan() {
+    let results = run_all(IO_TEST_ROWS, 23);
+    let scan_blocks = results[0].1.stats.io.blocks_read;
+    for (name, out) in &results[1..] {
+        assert!(
+            out.stats.io.blocks_read < scan_blocks,
+            "{name} read {} blocks, scan read {scan_blocks}",
+            out.stats.io.blocks_read
+        );
+    }
+}
+
+#[test]
+fn fastmatch_skips_blocks_in_stage2() {
+    let results = run_all(IO_TEST_ROWS, 31);
+    let fast = &results[3].1;
+    assert!(
+        fast.stats.io.blocks_skipped > 0,
+        "FastMatch never skipped a block"
+    );
+}
+
+#[test]
+fn executors_agree_across_seeds() {
+    // The planted top-1 (candidate 0, exact uniform) must always be ranked
+    // first by every executor.
+    for seed in [1u64, 2, 3] {
+        for (name, out) in run_all(200_000, seed) {
+            assert_eq!(
+                out.candidate_ids()[0],
+                0,
+                "{name} seed {seed}: wrong best candidate"
+            );
+        }
+    }
+}
+
+#[test]
+fn tiny_table_degenerates_to_exact() {
+    // Table smaller than the stage-1 sample budget: every executor must
+    // still terminate and return the true top-k.
+    let rows = 5_000;
+    let table = test_table(rows, 3);
+    let gt = ground_truth(&table);
+    let truth = gt.true_topk(5, 0.0);
+    let layout = BlockLayout::new(table.n_rows(), 64);
+    let bitmap = BitmapIndex::build(&table, 0, &layout);
+    let cfg = HistSimConfig {
+        sigma: 0.0,
+        ..config()
+    };
+    let job = QueryJob::new(&table, layout, &bitmap, 0, 1, uniform(8), cfg);
+    let execs: Vec<Box<dyn Executor>> = vec![
+        Box::new(ScanMatchExec),
+        Box::new(SyncMatchExec),
+        Box::new(FastMatchExec::with_lookahead(16)),
+    ];
+    for e in execs {
+        let out = e.run(&job, 77).unwrap_or_else(|_| panic!("{}", e.name()));
+        let mut ids = out.candidate_ids();
+        ids.sort_unstable();
+        let mut expect = truth.clone();
+        expect.sort_unstable();
+        assert_eq!(ids, expect, "{}", e.name());
+    }
+}
+
+#[test]
+fn sigma_zero_disables_pruning() {
+    let rows = 100_000;
+    let table = test_table(rows, 9);
+    let layout = BlockLayout::new(table.n_rows(), 64);
+    let bitmap = BitmapIndex::build(&table, 0, &layout);
+    let cfg = HistSimConfig {
+        sigma: 0.0,
+        ..config()
+    };
+    let job = QueryJob::new(&table, layout, &bitmap, 0, 1, uniform(8), cfg);
+    let out = ScanMatchExec.run(&job, 5).unwrap();
+    assert_eq!(out.stats.pruned, 0);
+}
+
+#[test]
+fn lookahead_size_does_not_change_correctness() {
+    let rows = 200_000;
+    let table = test_table(rows, 13);
+    let gt = ground_truth(&table);
+    let layout = BlockLayout::new(table.n_rows(), 64);
+    let bitmap = BitmapIndex::build(&table, 0, &layout);
+    for lookahead in [8usize, 64, 1024, 8192] {
+        let job = QueryJob::new(&table, layout, &bitmap, 0, 1, uniform(8), config());
+        let out = FastMatchExec::with_lookahead(lookahead)
+            .run(&job, 99)
+            .unwrap();
+        assert!(
+            gt.check_separation(&out.candidate_ids(), config().epsilon, config().sigma),
+            "lookahead {lookahead}"
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Equal-width binning of continuous attributes (Appendix A.1.4 / A.1.6).
+//!
+//! Continuous grouping attributes (e.g. departure time) are binned into a
+//! fixed number of buckets before histogramming; continuous *candidate*
+//! attributes (e.g. pickup longitude/latitude) are binned to form the
+//! candidate domain. The binner turns an `f64` into a dictionary code.
+
+/// Equal-width binner over `[min, max]` with `bins` buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binner {
+    min: f64,
+    max: f64,
+    bins: u32,
+    width: f64,
+}
+
+impl Binner {
+    /// Creates a binner over `[min, max]` with the given bucket count.
+    ///
+    /// # Panics
+    /// Panics unless `min < max` and `bins ≥ 1`.
+    pub fn equal_width(min: f64, max: f64, bins: u32) -> Self {
+        assert!(min < max, "need min < max");
+        assert!(bins >= 1, "need at least one bin");
+        Binner {
+            min,
+            max,
+            bins,
+            width: (max - min) / bins as f64,
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> u32 {
+        self.bins
+    }
+
+    /// Maps a value to its bin code; values outside the range clamp to the
+    /// first/last bin (the generators drop true outliers before binning,
+    /// matching the paper's preprocessing).
+    pub fn code(&self, v: f64) -> u32 {
+        if v <= self.min {
+            return 0;
+        }
+        if v >= self.max {
+            return self.bins - 1;
+        }
+        (((v - self.min) / self.width) as u32).min(self.bins - 1)
+    }
+
+    /// The half-open value range `[lo, hi)` of a bin (the last bin is
+    /// closed at `max`).
+    pub fn bin_range(&self, code: u32) -> (f64, f64) {
+        assert!(code < self.bins, "bin {code} out of range");
+        let lo = self.min + code as f64 * self.width;
+        (lo, lo + self.width)
+    }
+
+    /// Coarsens to `coarse_bins` by merging adjacent bins; `coarse_bins`
+    /// must divide `bins` (Appendix A.1.6: fine-granularity bitmaps induce
+    /// any coarser granularity).
+    pub fn coarsen_code(&self, code: u32, coarse_bins: u32) -> u32 {
+        assert!(
+            coarse_bins >= 1 && self.bins.is_multiple_of(coarse_bins),
+            "coarse bins must divide fine bins"
+        );
+        code / (self.bins / coarse_bins)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_cover_the_range() {
+        let b = Binner::equal_width(0.0, 24.0, 24);
+        assert_eq!(b.code(0.0), 0);
+        assert_eq!(b.code(0.5), 0);
+        assert_eq!(b.code(1.0), 1);
+        assert_eq!(b.code(23.9), 23);
+        assert_eq!(b.code(24.0), 23);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let b = Binner::equal_width(0.0, 10.0, 5);
+        assert_eq!(b.code(-3.0), 0);
+        assert_eq!(b.code(99.0), 4);
+    }
+
+    #[test]
+    fn bin_ranges_partition() {
+        let b = Binner::equal_width(-1.0, 1.0, 4);
+        let (lo0, hi0) = b.bin_range(0);
+        let (lo1, _) = b.bin_range(1);
+        assert!((lo0 - -1.0).abs() < 1e-12);
+        assert!((hi0 - lo1).abs() < 1e-12);
+        let (_, hi3) = b.bin_range(3);
+        assert!((hi3 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_bin_of_range_midpoint() {
+        let b = Binner::equal_width(0.0, 100.0, 10);
+        for code in 0..10 {
+            let (lo, hi) = b.bin_range(code);
+            assert_eq!(b.code((lo + hi) / 2.0), code);
+        }
+    }
+
+    #[test]
+    fn coarsening_merges_adjacent() {
+        let b = Binner::equal_width(0.0, 24.0, 24);
+        // 24 fine bins → 4 coarse (quarters of the day)
+        assert_eq!(b.coarsen_code(0, 4), 0);
+        assert_eq!(b.coarsen_code(5, 4), 0);
+        assert_eq!(b.coarsen_code(6, 4), 1);
+        assert_eq!(b.coarsen_code(23, 4), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn coarsen_requires_divisibility() {
+        Binner::equal_width(0.0, 24.0, 24).coarsen_code(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "min < max")]
+    fn degenerate_range_panics() {
+        Binner::equal_width(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,129 @@
+//! Block layout: the granularity at which I/O is requested and at which
+//! bitmap indexes are maintained.
+//!
+//! The paper sets the per-column block size to 600 bytes (§5.2) — 150
+//! four-byte codes. We default to the same tuple count but make it
+//! configurable; experiments show results are not very sensitive to this
+//! choice (as the paper also observes).
+
+use std::ops::Range;
+
+/// Default number of tuples per block (600 bytes of 4-byte codes).
+pub const DEFAULT_TUPLES_PER_BLOCK: usize = 150;
+
+/// Maps row indices to fixed-size blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockLayout {
+    n_rows: usize,
+    tuples_per_block: usize,
+}
+
+impl BlockLayout {
+    /// Creates a layout over `n_rows` rows with the given block size.
+    ///
+    /// # Panics
+    /// Panics if `tuples_per_block` is zero.
+    pub fn new(n_rows: usize, tuples_per_block: usize) -> Self {
+        assert!(tuples_per_block > 0, "block size must be positive");
+        BlockLayout {
+            n_rows,
+            tuples_per_block,
+        }
+    }
+
+    /// Layout with the paper's default block size.
+    pub fn with_default_block(n_rows: usize) -> Self {
+        Self::new(n_rows, DEFAULT_TUPLES_PER_BLOCK)
+    }
+
+    /// Number of rows covered.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Tuples per block.
+    pub fn tuples_per_block(&self) -> usize {
+        self.tuples_per_block
+    }
+
+    /// Number of blocks (the last one may be short).
+    pub fn num_blocks(&self) -> usize {
+        self.n_rows.div_ceil(self.tuples_per_block)
+    }
+
+    /// The row range of block `b`.
+    ///
+    /// # Panics
+    /// Panics if `b` is out of range.
+    pub fn rows_of_block(&self, b: usize) -> Range<usize> {
+        assert!(b < self.num_blocks(), "block {b} out of range");
+        let start = b * self.tuples_per_block;
+        let end = (start + self.tuples_per_block).min(self.n_rows);
+        start..end
+    }
+
+    /// The block containing row `r`.
+    pub fn block_of_row(&self, r: usize) -> usize {
+        r / self.tuples_per_block
+    }
+
+    /// Number of tuples in block `b`.
+    pub fn block_len(&self, b: usize) -> usize {
+        self.rows_of_block(b).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let l = BlockLayout::new(100, 10);
+        assert_eq!(l.num_blocks(), 10);
+        assert_eq!(l.rows_of_block(0), 0..10);
+        assert_eq!(l.rows_of_block(9), 90..100);
+        assert_eq!(l.block_len(3), 10);
+    }
+
+    #[test]
+    fn ragged_tail() {
+        let l = BlockLayout::new(95, 10);
+        assert_eq!(l.num_blocks(), 10);
+        assert_eq!(l.rows_of_block(9), 90..95);
+        assert_eq!(l.block_len(9), 5);
+    }
+
+    #[test]
+    fn row_to_block_roundtrip() {
+        let l = BlockLayout::new(1000, 7);
+        for r in [0usize, 6, 7, 13, 999] {
+            let b = l.block_of_row(r);
+            assert!(l.rows_of_block(b).contains(&r));
+        }
+    }
+
+    #[test]
+    fn empty_table_has_no_blocks() {
+        let l = BlockLayout::new(0, 10);
+        assert_eq!(l.num_blocks(), 0);
+    }
+
+    #[test]
+    fn default_block_size_is_600_bytes() {
+        let l = BlockLayout::with_default_block(1000);
+        assert_eq!(l.tuples_per_block() * 4, 600);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_size_panics() {
+        BlockLayout::new(10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_block_panics() {
+        BlockLayout::new(10, 10).rows_of_block(1);
+    }
+}

@@ -1,0 +1,42 @@
+//! # fastmatch-store
+//!
+//! The storage substrate FastMatch runs on (paper §4): a column-oriented
+//! in-memory engine with
+//!
+//! * dictionary-encoded columns grouped into a [`table::Table`];
+//! * a fixed block granularity ([`block::BlockLayout`]) at which all I/O
+//!   requests are serviced;
+//! * the random-permutation preprocessing step that turns sequential block
+//!   scans into uniform without-replacement samples ([`shuffle`]);
+//! * one-bit-per-(value, block) bitmap indexes used by the AnyActive block
+//!   selection policy ([`bitmap::BitmapIndex`]);
+//! * per-block count *density maps* for boolean-predicate candidates
+//!   (Appendix A.1.2, [`density::DensityMap`]);
+//! * boolean predicates over attribute values ([`predicate::Predicate`]);
+//! * equal-width binning of continuous attributes (Appendix A.1.4 / A.1.6,
+//!   [`binning::Binner`]);
+//! * a block reader that accounts blocks read/skipped and tuples touched,
+//!   with an optional simulated per-block latency so storage-media cost
+//!   models can be explored ([`io::BlockReader`]).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod binning;
+pub mod bitmap;
+pub mod block;
+pub mod density;
+pub mod io;
+pub mod predicate;
+pub mod schema;
+pub mod shuffle;
+pub mod table;
+
+pub use binning::Binner;
+pub use bitmap::BitmapIndex;
+pub use block::BlockLayout;
+pub use density::DensityMap;
+pub use io::{BlockReader, IoStats};
+pub use predicate::Predicate;
+pub use schema::{AttrDef, Schema};
+pub use table::Table;

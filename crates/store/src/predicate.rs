@@ -1,0 +1,172 @@
+//! Boolean predicates over attribute values.
+//!
+//! Definition 1's histogram-generating queries select candidates with
+//! `Z = zᵢ`; Appendix A.1.2 generalizes candidates to arbitrary AND/OR
+//! predicates over several attributes (e.g. `(nationality, religion)`
+//! pairs of Q3). Predicates evaluate per row, and can be tested per block
+//! conservatively through bitmap indexes.
+
+use crate::bitmap::BitmapIndex;
+use crate::table::Table;
+
+/// A boolean predicate over a table's attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// `attr = value`.
+    Eq {
+        /// Attribute index.
+        attr: usize,
+        /// Dictionary code to match.
+        value: u32,
+    },
+    /// Conjunction (empty = true).
+    And(Vec<Predicate>),
+    /// Disjunction (empty = false).
+    Or(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor for `attr = value`.
+    pub fn eq(attr: usize, value: u32) -> Self {
+        Predicate::Eq { attr, value }
+    }
+
+    /// Exact row-level evaluation.
+    pub fn matches_row(&self, table: &Table, row: usize) -> bool {
+        match self {
+            Predicate::Eq { attr, value } => table.code(*attr, row) == *value,
+            Predicate::And(parts) => parts.iter().all(|p| p.matches_row(table, row)),
+            Predicate::Or(parts) => parts.iter().any(|p| p.matches_row(table, row)),
+        }
+    }
+
+    /// Conservative block-level test through bitmap indexes: returns false
+    /// only when the block provably contains no matching tuple. `indexes`
+    /// must carry `(attr, index)` pairs for the attributes consulted;
+    /// attributes without an index conservatively report "maybe".
+    pub fn may_match_block(&self, indexes: &[(usize, &BitmapIndex)], block: usize) -> bool {
+        match self {
+            Predicate::Eq { attr, value } => indexes
+                .iter()
+                .find(|(a, _)| a == attr)
+                .map(|(_, idx)| idx.block_has(*value, block))
+                .unwrap_or(true),
+            Predicate::And(parts) => parts
+                .iter()
+                .all(|p| p.may_match_block(indexes, block)),
+            Predicate::Or(parts) => {
+                parts.is_empty() || parts.iter().any(|p| p.may_match_block(indexes, block))
+            }
+        }
+    }
+
+    /// All attribute indices the predicate mentions (with duplicates
+    /// removed, in first-mention order).
+    pub fn attrs(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_attrs(&mut out);
+        out
+    }
+
+    fn collect_attrs(&self, out: &mut Vec<usize>) {
+        match self {
+            Predicate::Eq { attr, .. } => {
+                if !out.contains(attr) {
+                    out.push(*attr);
+                }
+            }
+            Predicate::And(parts) | Predicate::Or(parts) => {
+                for p in parts {
+                    p.collect_attrs(out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockLayout;
+    use crate::schema::{AttrDef, Schema};
+
+    fn table() -> Table {
+        // rows: (a, b) = (0,0) (0,1) (1,0) (1,1)
+        let schema = Schema::new(vec![AttrDef::new("a", 2), AttrDef::new("b", 2)]);
+        Table::new(schema, vec![vec![0, 0, 1, 1], vec![0, 1, 0, 1]])
+    }
+
+    #[test]
+    fn eq_matches_rows() {
+        let t = table();
+        let p = Predicate::eq(0, 1);
+        assert!(!p.matches_row(&t, 0));
+        assert!(p.matches_row(&t, 2));
+    }
+
+    #[test]
+    fn and_or_semantics() {
+        let t = table();
+        let and = Predicate::And(vec![Predicate::eq(0, 1), Predicate::eq(1, 1)]);
+        assert!(and.matches_row(&t, 3));
+        assert!(!and.matches_row(&t, 2));
+        let or = Predicate::Or(vec![Predicate::eq(0, 0), Predicate::eq(1, 1)]);
+        assert!(or.matches_row(&t, 0));
+        assert!(or.matches_row(&t, 3));
+        assert!(!or.matches_row(&t, 2));
+    }
+
+    #[test]
+    fn empty_connectives() {
+        let t = table();
+        assert!(Predicate::And(vec![]).matches_row(&t, 0));
+        assert!(!Predicate::Or(vec![]).matches_row(&t, 0));
+    }
+
+    #[test]
+    fn block_test_is_conservative_and_exact_for_eq() {
+        let t = table();
+        let l = BlockLayout::new(4, 2);
+        let idx = BitmapIndex::build(&t, 0, &l);
+        let p = Predicate::eq(0, 0);
+        assert!(p.may_match_block(&[(0, &idx)], 0));
+        assert!(!p.may_match_block(&[(0, &idx)], 1));
+    }
+
+    #[test]
+    fn block_test_without_index_says_maybe() {
+        let p = Predicate::eq(1, 0);
+        assert!(p.may_match_block(&[], 0));
+    }
+
+    #[test]
+    fn block_test_never_false_negative() {
+        let t = table();
+        let l = BlockLayout::new(4, 2);
+        let idx_a = BitmapIndex::build(&t, 0, &l);
+        let idx_b = BitmapIndex::build(&t, 1, &l);
+        let indexes = [(0usize, &idx_a), (1usize, &idx_b)];
+        let preds = vec![
+            Predicate::And(vec![Predicate::eq(0, 1), Predicate::eq(1, 0)]),
+            Predicate::Or(vec![Predicate::eq(0, 0), Predicate::eq(1, 1)]),
+            Predicate::eq(1, 1),
+        ];
+        for p in &preds {
+            for b in 0..l.num_blocks() {
+                let truth = l.rows_of_block(b).any(|r| p.matches_row(&t, r));
+                if truth {
+                    assert!(p.may_match_block(&indexes, b), "{p:?} block {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attrs_are_collected_once() {
+        let p = Predicate::And(vec![
+            Predicate::eq(2, 0),
+            Predicate::Or(vec![Predicate::eq(0, 1), Predicate::eq(2, 1)]),
+        ]);
+        assert_eq!(p.attrs(), vec![2, 0]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Table schemas: named, dictionary-encoded categorical attributes.
+
+/// Definition of one attribute: a name and the cardinality of its value
+/// dictionary. Values are stored as codes `0..cardinality`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Attribute name (e.g. `"Origin"`).
+    pub name: String,
+    /// Dictionary cardinality `|V_A|`.
+    pub cardinality: u32,
+}
+
+impl AttrDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, cardinality: u32) -> Self {
+        AttrDef {
+            name: name.into(),
+            cardinality,
+        }
+    }
+}
+
+/// An ordered list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    attrs: Vec<AttrDef>,
+}
+
+impl Schema {
+    /// Builds a schema from attribute definitions.
+    pub fn new(attrs: Vec<AttrDef>) -> Self {
+        Schema { attrs }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Attribute definition by index.
+    pub fn attr(&self, idx: usize) -> &AttrDef {
+        &self.attrs[idx]
+    }
+
+    /// All attributes.
+    pub fn attrs(&self) -> &[AttrDef] {
+        &self.attrs
+    }
+
+    /// Looks up an attribute index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::new(vec![
+            AttrDef::new("Origin", 347),
+            AttrDef::new("DepartureHour", 24),
+        ]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.index_of("Origin"), Some(0));
+        assert_eq!(s.index_of("DepartureHour"), Some(1));
+        assert_eq!(s.index_of("Nope"), None);
+        assert_eq!(s.attr(1).cardinality, 24);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::default();
+        assert!(s.is_empty());
+        assert_eq!(s.index_of("x"), None);
+    }
+}

@@ -1,0 +1,126 @@
+//! Random-permutation preprocessing (paper §4.2, Challenge 1).
+//!
+//! FastMatch randomly permutes the tuples of the dataset once, up front.
+//! After that, a *sequential* scan starting at any position yields tuples
+//! in uniform-without-replacement order — random sampling at sequential-I/O
+//! cost. The same trick is used by other online-AQP systems the paper cites.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::table::Table;
+
+/// Returns a uniformly random permutation of `0..n` (Fisher–Yates).
+pub fn permutation(n: usize, seed: u64) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    perm.shuffle(&mut rng);
+    perm
+}
+
+/// Produces a new table whose rows are a seeded uniform permutation of the
+/// input's rows (the same permutation applied to every column).
+pub fn shuffle_table(table: &Table, seed: u64) -> Table {
+    let perm = permutation(table.n_rows(), seed);
+    apply_permutation(table, &perm)
+}
+
+/// Applies an explicit permutation: output row `i` is input row `perm[i]`.
+pub fn apply_permutation(table: &Table, perm: &[u32]) -> Table {
+    assert_eq!(perm.len(), table.n_rows(), "permutation length mismatch");
+    let columns: Vec<Vec<u32>> = (0..table.schema().len())
+        .map(|a| {
+            let src = table.column(a);
+            perm.iter().map(|&r| src[r as usize]).collect()
+        })
+        .collect();
+    Table::new(table.schema().clone(), columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrDef;
+
+    fn seq_table(n: usize) -> Table {
+        let schema = crate::schema::Schema::new(vec![
+            AttrDef::new("a", n as u32),
+            AttrDef::new("b", 2),
+        ]);
+        Table::new(
+            schema,
+            vec![
+                (0..n as u32).collect(),
+                (0..n as u32).map(|v| v % 2).collect(),
+            ],
+        )
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let p = permutation(1000, 42);
+        let mut seen = vec![false; 1000];
+        for &v in &p {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn permutation_is_deterministic_per_seed() {
+        assert_eq!(permutation(100, 7), permutation(100, 7));
+        assert_ne!(permutation(100, 7), permutation(100, 8));
+    }
+
+    #[test]
+    fn shuffle_preserves_row_multiset_and_alignment() {
+        let t = seq_table(500);
+        let s = shuffle_table(&t, 3);
+        assert_eq!(s.n_rows(), 500);
+        // Row alignment across columns must be preserved: b == a % 2.
+        for r in 0..500 {
+            assert_eq!(s.code(1, r), s.code(0, r) % 2);
+        }
+        // Multiset of column-a values preserved.
+        let mut vals: Vec<u32> = s.column(0).to_vec();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..500).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn shuffle_actually_moves_rows() {
+        let t = seq_table(500);
+        let s = shuffle_table(&t, 3);
+        let moved = (0..500).filter(|&r| s.code(0, r) != r as u32).count();
+        assert!(moved > 400, "only {moved} rows moved");
+    }
+
+    #[test]
+    fn apply_identity_is_noop() {
+        let t = seq_table(10);
+        let ident: Vec<u32> = (0..10).collect();
+        assert_eq!(apply_permutation(&t, &ident), t);
+    }
+
+    #[test]
+    fn shuffled_prefix_looks_uniform() {
+        // A prefix of the shuffled table should contain each value class in
+        // roughly its global proportion — the property HistSim's stage-1
+        // hypergeometric model relies on.
+        let n = 20_000;
+        let t = seq_table(n);
+        let s = shuffle_table(&t, 11);
+        let prefix = 2_000;
+        let odd = (0..prefix).filter(|&r| s.code(1, r) == 1).count();
+        let frac = odd as f64 / prefix as f64;
+        assert!((frac - 0.5).abs() < 0.05, "frac = {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation length mismatch")]
+    fn wrong_length_permutation_panics() {
+        apply_permutation(&seq_table(5), &[0, 1, 2]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Column-oriented tables of dictionary-encoded values.
+
+use crate::schema::{AttrDef, Schema};
+
+/// A column-oriented table: one `Vec<u32>` of dictionary codes per
+/// attribute, all of identical length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Vec<u32>>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// Builds a table from a schema and matching columns.
+    ///
+    /// # Panics
+    /// Panics if column counts/lengths disagree with the schema, or if any
+    /// code exceeds its attribute's cardinality.
+    pub fn new(schema: Schema, columns: Vec<Vec<u32>>) -> Self {
+        assert_eq!(
+            schema.len(),
+            columns.len(),
+            "one column per schema attribute"
+        );
+        let n_rows = columns.first().map_or(0, |c| c.len());
+        for (i, col) in columns.iter().enumerate() {
+            assert_eq!(col.len(), n_rows, "column {i} length mismatch");
+            let card = schema.attr(i).cardinality;
+            debug_assert!(
+                col.iter().all(|&v| v < card),
+                "column {i} contains codes beyond cardinality {card}"
+            );
+        }
+        Table {
+            schema,
+            columns,
+            n_rows,
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows `N`.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Full code column for an attribute.
+    pub fn column(&self, attr: usize) -> &[u32] {
+        &self.columns[attr]
+    }
+
+    /// The code of attribute `attr` in row `row`.
+    #[inline]
+    pub fn code(&self, attr: usize, row: usize) -> u32 {
+        self.columns[attr][row]
+    }
+
+    /// Cardinality of an attribute (shorthand).
+    pub fn cardinality(&self, attr: usize) -> u32 {
+        self.schema.attr(attr).cardinality
+    }
+
+    /// Looks up an attribute index by name.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.schema.index_of(name)
+    }
+
+    /// Approximate in-memory size in bytes (codes only).
+    pub fn size_bytes(&self) -> usize {
+        self.columns.len() * self.n_rows * std::mem::size_of::<u32>()
+    }
+
+    /// Exact per-value counts of one attribute — ground truth for tests
+    /// and experiment validation.
+    pub fn value_counts(&self, attr: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; self.cardinality(attr) as usize];
+        for &v in &self.columns[attr] {
+            counts[v as usize] += 1;
+        }
+        counts
+    }
+
+    /// Exact `(z, x)` cross-tabulation: `result[z * |V_X| + x]` — the true
+    /// candidate histograms for a histogram-generating query template.
+    pub fn crosstab(&self, z_attr: usize, x_attr: usize) -> Vec<u64> {
+        let vz = self.cardinality(z_attr) as usize;
+        let vx = self.cardinality(x_attr) as usize;
+        let mut counts = vec![0u64; vz * vx];
+        let zc = &self.columns[z_attr];
+        let xc = &self.columns[x_attr];
+        for (&z, &x) in zc.iter().zip(xc) {
+            counts[z as usize * vx + x as usize] += 1;
+        }
+        counts
+    }
+}
+
+/// Builder used by data generators: accumulates row-major tuples, then
+/// freezes into a columnar [`Table`].
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    schema: Schema,
+    columns: Vec<Vec<u32>>,
+}
+
+impl TableBuilder {
+    /// Starts building a table with the given attributes, reserving space
+    /// for `capacity` rows.
+    pub fn new(attrs: Vec<AttrDef>, capacity: usize) -> Self {
+        let n = attrs.len();
+        TableBuilder {
+            schema: Schema::new(attrs),
+            columns: (0..n).map(|_| Vec::with_capacity(capacity)).collect(),
+        }
+    }
+
+    /// Appends one row of codes.
+    ///
+    /// # Panics
+    /// Panics if the row length does not match the schema.
+    pub fn push_row(&mut self, row: &[u32]) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        for (col, &v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+
+    /// Number of rows accumulated so far.
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.len())
+    }
+
+    /// Freezes into a [`Table`].
+    pub fn finish(self) -> Table {
+        Table::new(self.schema, self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Table {
+        let schema = Schema::new(vec![AttrDef::new("z", 3), AttrDef::new("x", 2)]);
+        Table::new(schema, vec![vec![0, 1, 2, 1, 0], vec![1, 0, 1, 1, 0]])
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = small();
+        assert_eq!(t.n_rows(), 5);
+        assert_eq!(t.code(0, 2), 2);
+        assert_eq!(t.code(1, 2), 1);
+        assert_eq!(t.column(1), &[1, 0, 1, 1, 0]);
+        assert_eq!(t.cardinality(0), 3);
+        assert_eq!(t.attr_index("x"), Some(1));
+        assert_eq!(t.size_bytes(), 2 * 5 * 4);
+    }
+
+    #[test]
+    fn value_counts_are_exact() {
+        let t = small();
+        assert_eq!(t.value_counts(0), vec![2, 2, 1]);
+        assert_eq!(t.value_counts(1), vec![2, 3]);
+    }
+
+    #[test]
+    fn crosstab_matches_manual_count() {
+        let t = small();
+        // rows: (0,1) (1,0) (2,1) (1,1) (0,0)
+        let ct = t.crosstab(0, 1);
+        assert_eq!(ct, vec![1, 1, 1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = TableBuilder::new(vec![AttrDef::new("a", 4), AttrDef::new("b", 4)], 2);
+        b.push_row(&[1, 2]);
+        b.push_row(&[3, 0]);
+        assert_eq!(b.n_rows(), 2);
+        let t = b.finish();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.code(0, 1), 3);
+        assert_eq!(t.code(1, 0), 2);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(Schema::new(vec![AttrDef::new("a", 1)]), vec![vec![]]);
+        assert_eq!(t.n_rows(), 0);
+        assert_eq!(t.value_counts(0), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ragged_columns_panic() {
+        let schema = Schema::new(vec![AttrDef::new("a", 2), AttrDef::new("b", 2)]);
+        Table::new(schema, vec![vec![0, 1], vec![0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn builder_arity_mismatch_panics() {
+        let mut b = TableBuilder::new(vec![AttrDef::new("a", 2)], 1);
+        b.push_row(&[0, 1]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the storage substrate.
+
+use proptest::prelude::*;
+
+use fastmatch_store::binning::Binner;
+use fastmatch_store::bitmap::BitmapIndex;
+use fastmatch_store::block::BlockLayout;
+use fastmatch_store::density::{estimate_block_count, DensityMap};
+use fastmatch_store::predicate::Predicate;
+use fastmatch_store::schema::{AttrDef, Schema};
+use fastmatch_store::shuffle::shuffle_table;
+use fastmatch_store::table::Table;
+
+fn arb_table(max_rows: usize, card: u32) -> impl Strategy<Value = Table> {
+    prop::collection::vec(0..card, 1..max_rows).prop_map(move |col| {
+        let schema = Schema::new(vec![AttrDef::new("a", card)]);
+        Table::new(schema, vec![col])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Shuffling preserves the multiset of values exactly.
+    #[test]
+    fn shuffle_preserves_multiset(table in arb_table(400, 12), seed in 0u64..100) {
+        let shuffled = shuffle_table(&table, seed);
+        prop_assert_eq!(shuffled.n_rows(), table.n_rows());
+        let mut a = table.column(0).to_vec();
+        let mut b = shuffled.column(0).to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// A bitmap bit is set iff the block actually contains the value.
+    #[test]
+    fn bitmap_matches_block_contents(
+        table in arb_table(300, 9),
+        bs in 1usize..40,
+    ) {
+        let layout = BlockLayout::new(table.n_rows(), bs);
+        let idx = BitmapIndex::build(&table, 0, &layout);
+        for b in 0..layout.num_blocks() {
+            for v in 0..9u32 {
+                let truth = layout.rows_of_block(b).any(|r| table.code(0, r) == v);
+                prop_assert_eq!(idx.block_has(v, b), truth, "v={} b={}", v, b);
+            }
+        }
+    }
+
+    /// Lookahead marking agrees with per-block probing at every offset.
+    #[test]
+    fn lookahead_equals_probing(
+        table in arb_table(300, 6),
+        bs in 1usize..20,
+        start_frac in 0.0f64..1.0,
+        window in 1usize..30,
+    ) {
+        let layout = BlockLayout::new(table.n_rows(), bs);
+        let idx = BitmapIndex::build(&table, 0, &layout);
+        let start = ((layout.num_blocks() as f64) * start_frac) as usize % layout.num_blocks().max(1);
+        let mut marks = vec![false; window];
+        for v in 0..6u32 {
+            idx.mark_active_range(v, start, &mut marks);
+        }
+        for (i, &m) in marks.iter().enumerate() {
+            let b = start + i;
+            if b < layout.num_blocks() {
+                let any = (0..6u32).any(|v| idx.block_has(v, b));
+                prop_assert_eq!(m, any);
+            } else {
+                prop_assert!(!m);
+            }
+        }
+    }
+
+    /// Block-level predicate tests never produce false negatives, and
+    /// density-map estimates always upper-bound true counts.
+    #[test]
+    fn predicate_and_density_are_conservative(
+        a_col in prop::collection::vec(0u32..4, 30..200),
+        b_col_seed in 0u32..4,
+        bs in 2usize..25,
+        v1 in 0u32..4,
+        v2 in 0u32..4,
+    ) {
+        let n = a_col.len();
+        let b_col: Vec<u32> = a_col.iter().map(|&a| (a + b_col_seed) % 4).collect();
+        let schema = Schema::new(vec![AttrDef::new("a", 4), AttrDef::new("b", 4)]);
+        let table = Table::new(schema, vec![a_col, b_col]);
+        let layout = BlockLayout::new(n, bs);
+        let idx_a = BitmapIndex::build(&table, 0, &layout);
+        let idx_b = BitmapIndex::build(&table, 1, &layout);
+        let d_a = DensityMap::build(&table, 0, &layout);
+        let d_b = DensityMap::build(&table, 1, &layout);
+
+        let preds = vec![
+            Predicate::eq(0, v1),
+            Predicate::And(vec![Predicate::eq(0, v1), Predicate::eq(1, v2)]),
+            Predicate::Or(vec![Predicate::eq(0, v1), Predicate::eq(1, v2)]),
+        ];
+        let indexes = [(0usize, &idx_a), (1usize, &idx_b)];
+        let maps = [&d_a, &d_b];
+        for p in &preds {
+            for b in 0..layout.num_blocks() {
+                let truth = layout
+                    .rows_of_block(b)
+                    .filter(|&r| p.matches_row(&table, r))
+                    .count() as u32;
+                if truth > 0 {
+                    prop_assert!(p.may_match_block(&indexes, b), "{p:?} block {b}");
+                }
+                let est = estimate_block_count(p, &maps, &layout, b);
+                prop_assert!(est >= truth, "{p:?} block {b}: est {est} < {truth}");
+            }
+        }
+    }
+
+    /// Binning: every value maps into range, and the bin's interval
+    /// contains the value (up to clamping).
+    #[test]
+    fn binner_code_in_range(
+        lo in -100.0f64..0.0,
+        width in 1.0f64..50.0,
+        bins in 1u32..64,
+        v in -200.0f64..200.0,
+    ) {
+        let binner = Binner::equal_width(lo, lo + width, bins);
+        let code = binner.code(v);
+        prop_assert!(code < bins);
+        if v > lo && v < lo + width {
+            let (blo, bhi) = binner.bin_range(code);
+            prop_assert!(v >= blo - 1e-9 && v <= bhi + 1e-9);
+        }
+    }
+
+    /// Block layout partitions rows exactly.
+    #[test]
+    fn layout_partitions_rows(n in 1usize..2000, bs in 1usize..100) {
+        let layout = BlockLayout::new(n, bs);
+        let mut covered = 0usize;
+        let mut prev_end = 0usize;
+        for b in 0..layout.num_blocks() {
+            let r = layout.rows_of_block(b);
+            prop_assert_eq!(r.start, prev_end);
+            prev_end = r.end;
+            covered += r.len();
+        }
+        prop_assert_eq!(covered, n);
+        prop_assert_eq!(prev_end, n);
+    }
+}

@@ -1,0 +1,52 @@
+//! §2.1's metric discussion, executable: why normalized ℓ1 rather than
+//! ℓ2 or KL-divergence, and why normalization at all.
+//!
+//! ```text
+//! cargo run --release --example metric_comparison
+//! ```
+
+use fastmatch::prelude::*;
+
+fn main() {
+    // --- Why normalize (Figure 3): a small country with the same wealth
+    //     *shape* as a big one is identical after normalization.
+    let big = Histogram::from_counts(vec![40_000, 80_000, 120_000, 60_000, 20_000]);
+    let small = Histogram::from_counts(vec![400, 800, 1_200, 600, 200]);
+    let p_big = big.normalized().unwrap();
+    let p_small = small.normalized().unwrap();
+    println!("pre-normalization count difference: huge (totals {} vs {})", big.total(), small.total());
+    println!(
+        "post-normalization l1 distance: {:.6}\n",
+        Metric::L1.eval(&p_big, &p_small)
+    );
+
+    // --- Why not l2 (Figure 2's argument): with mass spread across many
+    //     bins, two *disjoint* distributions look close in l2.
+    let n = 100;
+    let mut p = vec![0.0; 2 * n];
+    let mut q = vec![0.0; 2 * n];
+    for i in 0..n {
+        p[i] = 1.0 / n as f64;
+        q[n + i] = 1.0 / n as f64;
+    }
+    println!("two distributions with fully disjoint support over 200 bins:");
+    println!("  l1 = {:.4} (maximal — they share nothing)", Metric::L1.eval(&p, &q));
+    println!("  l2 = {:.4} (looks deceptively close)\n", Metric::L2.eval(&p, &q));
+
+    // --- Why not KL: a single empty bin in the candidate makes KL infinite
+    //     even when the histograms are visually near-identical.
+    let target = [0.30, 0.25, 0.20, 0.15, 0.10];
+    let candidate = [0.32, 0.26, 0.21, 0.21, 0.0]; // visually close, one empty bin
+    println!("near-identical histograms, one empty bin in the candidate:");
+    println!("  l1 = {:.4}", Metric::L1.eval(&target, &candidate));
+    println!("  KL(target ‖ candidate) = {:?}\n", Metric::KlDivergence.eval(&target, &candidate));
+
+    // --- l1 corresponds to total variation distance (×2).
+    let a = [0.7, 0.2, 0.1];
+    let b = [0.4, 0.4, 0.2];
+    println!(
+        "l1 = {:.4} is exactly twice total-variation = {:.4}",
+        Metric::L1.eval(&a, &b),
+        Metric::TotalVariation.eval(&a, &b)
+    );
+}
