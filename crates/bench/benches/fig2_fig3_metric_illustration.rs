@@ -79,11 +79,19 @@ fn main() {
     let small: Vec<u64> = shape.iter().map(|p| (p * 25_000.0) as u64).collect();
     println!(
         "{}",
-        render_histogram("same shape at 1,000,000 tuples (pre-normalization)", &big, 40)
+        render_histogram(
+            "same shape at 1,000,000 tuples (pre-normalization)",
+            &big,
+            40
+        )
     );
     println!(
         "{}",
-        render_histogram("same shape at 25,000 tuples (pre-normalization)", &small, 40)
+        render_histogram(
+            "same shape at 25,000 tuples (pre-normalization)",
+            &small,
+            40
+        )
     );
     println!(
         "{}",

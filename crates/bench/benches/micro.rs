@@ -52,7 +52,9 @@ fn bench_distance(c: &mut Criterion) {
 }
 
 fn bench_holm_bonferroni(c: &mut Criterion) {
-    let pvals: Vec<f64> = (0..2110).map(|i| ((i * 811) % 1000) as f64 / 1000.0).collect();
+    let pvals: Vec<f64> = (0..2110)
+        .map(|i| ((i * 811) % 1000) as f64 / 1000.0)
+        .collect();
     c.bench_function("holm_bonferroni_2110", |b| {
         b.iter(|| HolmBonferroni::test(black_box(&pvals), 0.0033))
     });
@@ -61,7 +63,9 @@ fn bench_holm_bonferroni(c: &mut Criterion) {
 fn bitmap_fixture() -> (BitmapIndex, usize) {
     // 2000 candidates over 10_000 blocks of 150 tuples.
     let rows = 1_500_000usize;
-    let col: Vec<u32> = (0..rows).map(|r| ((r * 2654435761) % 2000) as u32).collect();
+    let col: Vec<u32> = (0..rows)
+        .map(|r| ((r * 2654435761) % 2000) as u32)
+        .collect();
     let t = Table::new(Schema::new(vec![AttrDef::new("z", 2000)]), vec![col]);
     let layout = BlockLayout::new(rows, 150);
     let nb = layout.num_blocks();

@@ -1,0 +1,128 @@
+//! Shard-scaling microbenchmark: `ParallelMatch` end-to-end latency at
+//! 1/2/4/8 shards against the single-core `SyncMatch` baseline, in two
+//! regimes — pure in-memory (measures the coordination overhead sharding
+//! must amortize) and storage-bound with a simulated per-block fetch
+//! latency (the regime sharded ingestion is built for: shards pay fetch
+//! latency concurrently, the sequential executors serially).
+//!
+//! Interpreting results requires knowing the host's core count (printed
+//! first): on a single-core host shard workers only time-slice one CPU, so
+//! every shard count degenerates to baseline-plus-overhead; wall-clock
+//! wins require ≥ 2 physical cores.
+//!
+//! Scale via `FASTMATCH_BENCH_ROWS` (default 1,000,000 rows).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use fastmatch_core::histsim::HistSimConfig;
+use fastmatch_data::gen::{conditional_with_planted_pool, generate_table, ColumnGen, ColumnSpec};
+use fastmatch_data::shapes::{far_pool, uniform};
+use fastmatch_engine::exec::{Executor, ParallelMatchExec, SyncMatchExec};
+use fastmatch_engine::query::QueryJob;
+use fastmatch_store::bitmap::BitmapIndex;
+use fastmatch_store::block::BlockLayout;
+use fastmatch_store::table::Table;
+
+fn rows() -> usize {
+    std::env::var("FASTMATCH_BENCH_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+        .max(50_000)
+}
+
+fn fixture(rows: usize) -> Table {
+    let groups = 8usize;
+    let dists = conditional_with_planted_pool(
+        64,
+        &uniform(groups),
+        &[(0, 0.0), (3, 0.02), (7, 0.04), (11, 0.05), (19, 0.06)],
+        &far_pool(groups),
+        0.2,
+        0xf00d,
+    );
+    let specs = vec![
+        ColumnSpec::new("z", 64, ColumnGen::PrimaryZipf { s: 1.1 }),
+        ColumnSpec::new(
+            "x",
+            groups as u32,
+            ColumnGen::Conditional { parent: 0, dists },
+        ),
+    ];
+    generate_table(&specs, rows, 0xbeef)
+}
+
+fn cfg() -> HistSimConfig {
+    HistSimConfig {
+        k: 5,
+        epsilon: 0.1,
+        delta: 0.05,
+        sigma: 0.001,
+        stage1_samples: 30_000,
+        ..HistSimConfig::default()
+    }
+}
+
+/// Simulated per-block fetch latency for the storage-bound regime
+/// (≈ a fast NVMe block read).
+const BLOCK_LATENCY_NS: u64 = 3_000;
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    println!(
+        "# host parallelism: {} core(s) — expect shard speedups only with >= 2",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let table = fixture(rows());
+    let layout = BlockLayout::with_default_block(table.n_rows());
+    let bitmap = BitmapIndex::build(&table, 0, &layout);
+
+    // In-memory regime: ingestion is almost free, so this mostly measures
+    // the coordination overhead a parallel executor must amortize.
+    let job = QueryJob::new(&table, layout, &bitmap, 0, 1, uniform(8), cfg());
+    c.bench_function("mem/sync_match_baseline", |b| {
+        b.iter(|| black_box(SyncMatchExec.run(&job, 42).unwrap().candidate_ids()))
+    });
+    for shards in [1usize, 2, 4, 8] {
+        c.bench_function(&format!("mem/parallel_match_{shards}_shards"), |b| {
+            b.iter(|| {
+                black_box(
+                    ParallelMatchExec::with_shards(shards)
+                        .run(&job, 42)
+                        .unwrap()
+                        .candidate_ids(),
+                )
+            })
+        });
+    }
+
+    // Storage-bound regime: every block fetch costs BLOCK_LATENCY_NS, paid
+    // serially by the single-core executors but concurrently by the
+    // shards — the regime sharded ingestion is built for.
+    let slow_job = QueryJob::new(&table, layout, &bitmap, 0, 1, uniform(8), cfg())
+        .with_block_latency_ns(BLOCK_LATENCY_NS);
+    c.bench_function("storage/sync_match_baseline", |b| {
+        b.iter(|| black_box(SyncMatchExec.run(&slow_job, 42).unwrap().candidate_ids()))
+    });
+    for shards in [1usize, 2, 4, 8] {
+        c.bench_function(&format!("storage/parallel_match_{shards}_shards"), |b| {
+            b.iter(|| {
+                black_box(
+                    ParallelMatchExec::with_shards(shards)
+                        .run(&slow_job, 42)
+                        .unwrap()
+                        .candidate_ids(),
+                )
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_shard_scaling
+}
+criterion_main!(benches);

@@ -21,10 +21,8 @@ fn main() {
         .collect();
     let w = Workload::prepare(env, &queries);
     println!("== sigma = 0 pathology (TAXI queries) ==\n");
-    let execs: Vec<Box<dyn Executor>> = vec![
-        Box::new(ScanMatchExec),
-        Box::new(FastMatchExec::default()),
-    ];
+    let execs: Vec<Box<dyn Executor>> =
+        vec![Box::new(ScanMatchExec), Box::new(FastMatchExec::default())];
     let mut rows = Vec::new();
     for q in &queries {
         let p = w.prepare_query(q);

@@ -9,7 +9,9 @@ use fastmatch_bench::{BenchEnv, Workload};
 use fastmatch_core::histsim::HistSim;
 
 fn main() {
-    let query_id = std::env::args().nth(1).unwrap_or_else(|| "police-q1".into());
+    let query_id = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "police-q1".into());
     let env = BenchEnv::from_env();
     let queries: Vec<_> = fastmatch_data::all_queries()
         .into_iter()

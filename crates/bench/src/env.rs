@@ -53,7 +53,9 @@ impl BenchEnv {
     /// sub-0.2σ candidate's underrepresentation P-value is astronomically
     /// small even under upward count fluctuations).
     pub fn stage1_samples(&self) -> u64 {
-        ((self.rows as u64) / 100).clamp(10_000, 500_000).min(self.rows as u64)
+        ((self.rows as u64) / 100)
+            .clamp(10_000, 500_000)
+            .min(self.rows as u64)
     }
 }
 

@@ -50,11 +50,7 @@ impl Ord for HeapItem {
 ///
 /// # Panics
 /// Panics if any weight is negative or non-finite.
-pub fn weighted_sample_without_replacement(
-    weights: &[f64],
-    m: usize,
-    seed: u64,
-) -> Vec<usize> {
+pub fn weighted_sample_without_replacement(weights: &[f64], m: usize, seed: u64) -> Vec<usize> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(m + 1);
     for (i, &w) in weights.iter().enumerate() {
@@ -145,7 +141,11 @@ mod tests {
     fn biased_sample_estimates_sum_proportions() {
         // Two groups; group 0 tuples carry weight 9, group 1 weight 1,
         // equal tuple counts. SUM proportions are (0.9, 0.1); the biased
-        // sample's COUNT proportions should approximate that.
+        // sample's COUNT proportions should approximate that. The identity
+        // only holds when the sampling fraction is small — drawing a large
+        // fraction without replacement depletes the heavy group first and
+        // biases the proportions downward — so keep m ≪ n (here 5%, where
+        // the exact successive-sampling expectation is ≈ 0.90).
         let n = 20_000usize;
         let mut tuples = Vec::new();
         let mut weights = Vec::new();
@@ -154,10 +154,10 @@ mod tests {
             tuples.push((0u32, g));
             weights.push(if g == 0 { 9.0 } else { 1.0 });
         }
-        let sample = measure_biased_tuples(&tuples, &weights, 5_000, 123);
+        let sample = measure_biased_tuples(&tuples, &weights, 1_000, 123);
         let g0 = sample.iter().filter(|t| t.1 == 0).count() as f64;
         let frac = g0 / sample.len() as f64;
-        assert!((frac - 0.9).abs() < 0.02, "frac = {frac}");
+        assert!((frac - 0.9).abs() < 0.03, "frac = {frac}");
     }
 
     #[test]

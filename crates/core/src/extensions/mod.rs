@@ -46,9 +46,6 @@ mod tests {
 
     #[test]
     fn overflow_saturates() {
-        assert_eq!(
-            support_of_multiple_attributes(&[usize::MAX, 2]),
-            usize::MAX
-        );
+        assert_eq!(support_of_multiple_attributes(&[usize::MAX, 2]), usize::MAX);
     }
 }

@@ -112,9 +112,7 @@ impl GroundTruth {
             return (0..self.exact.len() as u32).all(|c| self.selectivity(c) < sigma);
         }
         (0..self.exact.len()).all(|i| {
-            in_out[i]
-                || self.selectivity(i as u32) < sigma
-                || max_out - self.true_tau[i] < epsilon
+            in_out[i] || self.selectivity(i as u32) < sigma || max_out - self.true_tau[i] < epsilon
         })
     }
 

@@ -140,12 +140,7 @@ mod tests {
         // that differ only by a scale factor normalize identically.
         let a = Histogram::from_counts(vec![2, 4, 6]);
         let b = Histogram::from_counts(vec![200, 400, 600]);
-        for (x, y) in a
-            .normalized()
-            .unwrap()
-            .iter()
-            .zip(b.normalized().unwrap())
-        {
+        for (x, y) in a.normalized().unwrap().iter().zip(b.normalized().unwrap()) {
             assert!((x - y).abs() < 1e-15);
         }
     }

@@ -1,0 +1,228 @@
+//! Phase-free histogram delta accumulation.
+//!
+//! [`HistAccumulator`] turns raw `(z, x)` sample batches into
+//! per-candidate/per-group *count deltas* without touching any HistSim
+//! phase state. That split is what makes multi-core ingestion possible:
+//! any number of accumulators can be filled concurrently from disjoint
+//! block ranges (no shared mutable state, no locks) and later folded into
+//! the authoritative state machine with [`super::HistSim::merge`], or into
+//! each other with [`HistAccumulator::merge_from`] for tree reductions.
+//!
+//! Counts are kept dense (candidate-major, like
+//! [`super::state::CountState`]) so accumulation itself is two array
+//! increments per tuple, plus a *touched-candidate* list so that merging
+//! and clearing cost `O(touched × groups)` rather than
+//! `O(candidates × groups)` — essential when a 150-tuple block meets a
+//! multi-thousand-candidate domain. Accumulators are meant to be reused:
+//! [`HistAccumulator::clear`] resets in `O(touched × groups)` without
+//! freeing the backing storage.
+
+/// A mergeable batch of per-candidate/per-group count deltas.
+///
+/// Order-insensitive by construction: accumulating the same multiset of
+/// tuples in any order, across any number of accumulators that are then
+/// merged, produces the same deltas — the algebraic property the parallel
+/// executor's shard workers rely on.
+#[derive(Debug, Clone)]
+pub struct HistAccumulator {
+    groups: usize,
+    /// Dense per-(candidate, group) deltas, `candidate * groups + g`.
+    counts: Vec<u64>,
+    /// Per-candidate delta totals.
+    n: Vec<u64>,
+    /// Candidates with `n > 0`, in first-touch order.
+    touched: Vec<u32>,
+    /// Total tuples accumulated.
+    tuples: u64,
+}
+
+impl HistAccumulator {
+    /// Creates a zeroed accumulator for a `num_candidates × groups`
+    /// domain.
+    pub fn new(num_candidates: usize, groups: usize) -> Self {
+        assert!(groups > 0, "histograms must have at least one group");
+        HistAccumulator {
+            groups,
+            counts: vec![0; num_candidates * groups],
+            n: vec![0; num_candidates],
+            touched: Vec::new(),
+            tuples: 0,
+        }
+    }
+
+    /// Number of candidates in the domain.
+    pub fn num_candidates(&self) -> usize {
+        self.n.len()
+    }
+
+    /// Number of groups per histogram.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Total tuples accumulated since the last [`Self::clear`].
+    pub fn tuples(&self) -> u64 {
+        self.tuples
+    }
+
+    /// Whether no tuples have been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.tuples == 0
+    }
+
+    /// Candidates with at least one accumulated tuple, in first-touch
+    /// order.
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// The delta row of one candidate (all `groups` cells).
+    pub fn candidate_counts(&self, candidate: usize) -> &[u64] {
+        &self.counts[candidate * self.groups..(candidate + 1) * self.groups]
+    }
+
+    /// Delta total for one candidate.
+    pub fn n(&self, candidate: usize) -> u64 {
+        self.n[candidate]
+    }
+
+    /// Accumulates one tuple: candidate `c` observed with group `g`.
+    ///
+    /// # Panics
+    /// Panics if `c`/`g` are outside the declared domain.
+    #[inline]
+    pub fn accumulate_one(&mut self, c: u32, g: u32) {
+        let ci = c as usize;
+        let gi = g as usize;
+        assert!(gi < self.groups, "group {g} out of domain");
+        if self.n[ci] == 0 {
+            self.touched.push(c);
+        }
+        self.counts[ci * self.groups + gi] += 1;
+        self.n[ci] += 1;
+        self.tuples += 1;
+    }
+
+    /// Accumulates one block's worth of samples: `zs[i]`/`xs[i]` are the
+    /// candidate and group codes of the i-th tuple.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or out-of-domain codes.
+    pub fn accumulate(&mut self, zs: &[u32], xs: &[u32]) {
+        assert_eq!(zs.len(), xs.len(), "column slices must align");
+        for (&c, &g) in zs.iter().zip(xs) {
+            self.accumulate_one(c, g);
+        }
+    }
+
+    /// Folds another accumulator's deltas into this one (shard merge /
+    /// tree reduction). The other accumulator is left untouched.
+    ///
+    /// # Panics
+    /// Panics if the domains differ.
+    pub fn merge_from(&mut self, other: &HistAccumulator) {
+        assert_eq!(self.groups, other.groups, "group domains must match");
+        assert_eq!(self.n.len(), other.n.len(), "candidate domains must match");
+        for &c in &other.touched {
+            let ci = c as usize;
+            if self.n[ci] == 0 {
+                self.touched.push(c);
+            }
+            self.n[ci] += other.n[ci];
+            let base = ci * self.groups;
+            for g in 0..self.groups {
+                self.counts[base + g] += other.counts[base + g];
+            }
+        }
+        self.tuples += other.tuples;
+    }
+
+    /// Resets to the zeroed state in `O(touched × groups)`, keeping the
+    /// backing storage for reuse.
+    pub fn clear(&mut self) {
+        for &c in &self.touched {
+            let ci = c as usize;
+            self.n[ci] = 0;
+            let base = ci * self.groups;
+            self.counts[base..base + self.groups].fill(0);
+        }
+        self.touched.clear();
+        self.tuples = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_counts_tuples_and_cells() {
+        let mut a = HistAccumulator::new(3, 2);
+        a.accumulate(&[0, 2, 0], &[1, 0, 1]);
+        assert_eq!(a.tuples(), 3);
+        assert_eq!(a.n(0), 2);
+        assert_eq!(a.n(1), 0);
+        assert_eq!(a.n(2), 1);
+        assert_eq!(a.candidate_counts(0), &[0, 2]);
+        assert_eq!(a.candidate_counts(2), &[1, 0]);
+        assert_eq!(a.touched(), &[0, 2]);
+    }
+
+    #[test]
+    fn merge_from_equals_joint_accumulation() {
+        let zs = [0u32, 1, 2, 1, 0, 2, 2];
+        let xs = [0u32, 1, 2, 0, 1, 2, 0];
+        let mut joint = HistAccumulator::new(3, 3);
+        joint.accumulate(&zs, &xs);
+        let mut left = HistAccumulator::new(3, 3);
+        let mut right = HistAccumulator::new(3, 3);
+        left.accumulate(&zs[..3], &xs[..3]);
+        right.accumulate(&zs[3..], &xs[3..]);
+        left.merge_from(&right);
+        assert_eq!(left.tuples(), joint.tuples());
+        for c in 0..3 {
+            assert_eq!(
+                left.candidate_counts(c),
+                joint.candidate_counts(c),
+                "candidate {c}"
+            );
+            assert_eq!(left.n(c), joint.n(c));
+        }
+    }
+
+    #[test]
+    fn clear_resets_without_shrinking_domain() {
+        let mut a = HistAccumulator::new(4, 2);
+        a.accumulate(&[3, 3, 1], &[0, 1, 1]);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.tuples(), 0);
+        assert!(a.touched().is_empty());
+        for c in 0..4 {
+            assert_eq!(a.n(c), 0);
+            assert_eq!(a.candidate_counts(c), &[0, 0]);
+        }
+        // reusable after clear
+        a.accumulate_one(2, 1);
+        assert_eq!(a.n(2), 1);
+        assert_eq!(a.touched(), &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn out_of_domain_group_panics() {
+        HistAccumulator::new(2, 2).accumulate_one(0, 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_domain_candidate_panics() {
+        HistAccumulator::new(2, 2).accumulate_one(7, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn misaligned_slices_panic() {
+        HistAccumulator::new(2, 2).accumulate(&[0, 1], &[0]);
+    }
+}

@@ -88,14 +88,10 @@ impl HistSimConfig {
             }
         }
         if !(self.delta > 0.0 && self.delta < 1.0) {
-            return Err(CoreError::InvalidConfig(
-                "delta must lie in (0, 1)".into(),
-            ));
+            return Err(CoreError::InvalidConfig("delta must lie in (0, 1)".into()));
         }
         if !(0.0..=1.0).contains(&self.sigma) {
-            return Err(CoreError::InvalidConfig(
-                "sigma must lie in [0, 1]".into(),
-            ));
+            return Err(CoreError::InvalidConfig("sigma must lie in [0, 1]".into()));
         }
         if self.stage1_samples == 0 {
             return Err(CoreError::InvalidConfig(
@@ -155,19 +151,58 @@ mod tests {
     fn rejects_bad_parameters() {
         let base = HistSimConfig::default();
         let cases: Vec<HistSimConfig> = vec![
-            HistSimConfig { k: 0, ..base.clone() },
-            HistSimConfig { epsilon: 0.0, ..base.clone() },
-            HistSimConfig { epsilon: -1.0, ..base.clone() },
-            HistSimConfig { delta: 0.0, ..base.clone() },
-            HistSimConfig { delta: 1.0, ..base.clone() },
-            HistSimConfig { sigma: -0.1, ..base.clone() },
-            HistSimConfig { sigma: 1.5, ..base.clone() },
-            HistSimConfig { stage1_samples: 0, ..base.clone() },
-            HistSimConfig { k_range: Some((0, 3)), ..base.clone() },
-            HistSimConfig { k_range: Some((5, 2)), ..base.clone() },
-            HistSimConfig { epsilon_reconstruction: Some(0.0), ..base.clone() },
-            HistSimConfig { metric: Metric::KlDivergence, ..base.clone() },
-            HistSimConfig { metric: Metric::TotalVariation, ..base },
+            HistSimConfig {
+                k: 0,
+                ..base.clone()
+            },
+            HistSimConfig {
+                epsilon: 0.0,
+                ..base.clone()
+            },
+            HistSimConfig {
+                epsilon: -1.0,
+                ..base.clone()
+            },
+            HistSimConfig {
+                delta: 0.0,
+                ..base.clone()
+            },
+            HistSimConfig {
+                delta: 1.0,
+                ..base.clone()
+            },
+            HistSimConfig {
+                sigma: -0.1,
+                ..base.clone()
+            },
+            HistSimConfig {
+                sigma: 1.5,
+                ..base.clone()
+            },
+            HistSimConfig {
+                stage1_samples: 0,
+                ..base.clone()
+            },
+            HistSimConfig {
+                k_range: Some((0, 3)),
+                ..base.clone()
+            },
+            HistSimConfig {
+                k_range: Some((5, 2)),
+                ..base.clone()
+            },
+            HistSimConfig {
+                epsilon_reconstruction: Some(0.0),
+                ..base.clone()
+            },
+            HistSimConfig {
+                metric: Metric::KlDivergence,
+                ..base.clone()
+            },
+            HistSimConfig {
+                metric: Metric::TotalVariation,
+                ..base
+            },
         ];
         for c in cases {
             assert!(c.validate(24).is_err(), "{c:?} should be invalid");

@@ -41,10 +41,20 @@
 //! should call [`HistSim::mark_exact`]; if the *entire table* has been
 //! consumed, pass `exhausted = true` and HistSim finishes with exact
 //! results.
+//!
+//! Ingestion itself is split in two: phase-free delta *accumulation*
+//! ([`accumulator::HistAccumulator`], shareable across threads) and a
+//! phase-aware *merge* into the authoritative state ([`HistSim::merge`]).
+//! [`HistSim::ingest`] / [`HistSim::ingest_block`] are thin
+//! accumulate-then-merge wrappers preserving the original single-threaded
+//! API; parallel drivers fill accumulators on worker threads and feed the
+//! statistics thread batches to merge.
 
+pub mod accumulator;
 pub mod config;
 pub mod state;
 
+pub use accumulator::HistAccumulator;
 pub use config::HistSimConfig;
 
 use crate::error::{CoreError, Result};
@@ -155,6 +165,9 @@ pub struct HistSim {
     phase: Phase,
     members: Vec<u32>,
     diag: Diagnostics,
+    /// Reused delta buffer backing the single-threaded ingestion wrappers;
+    /// always cleared outside of [`Self::ingest`] / [`Self::ingest_block`].
+    scratch: HistAccumulator,
 }
 
 impl HistSim {
@@ -206,6 +219,7 @@ impl HistSim {
                 effective_k,
                 ..Diagnostics::default()
             },
+            scratch: HistAccumulator::new(num_candidates, groups),
         })
     }
 
@@ -259,7 +273,11 @@ impl HistSim {
     }
 
     /// Ingests one sampled tuple: candidate `c` (its `Z` code) observed
-    /// with group `g` (its `X` code).
+    /// with group `g` (its `X` code) — the degenerate single-delta case of
+    /// [`Self::merge`], specialized to two array increments because a
+    /// one-tuple accumulator round-trip would touch a whole group row per
+    /// tuple on this per-tuple hot path (equivalence with the merge path
+    /// is covered by the shard-merge property tests).
     ///
     /// # Panics
     /// Panics if `c`/`g` are outside the declared domain (hot path; use
@@ -303,30 +321,72 @@ impl HistSim {
 
     /// Ingests one block's worth of samples at once: `zs[i]`/`xs[i]` are
     /// the candidate and group codes of the i-th tuple. Equivalent to
-    /// calling [`Self::ingest`] per tuple but dispatches on the phase only
-    /// once — the engine's hot path.
+    /// calling [`Self::ingest`] per tuple; implemented as
+    /// accumulate-then-[`Self::merge`] over a reused scratch accumulator —
+    /// the single-threaded engine hot path.
     ///
     /// # Panics
     /// Panics on length mismatch, out-of-domain codes, or after
     /// completion.
     pub fn ingest_block(&mut self, zs: &[u32], xs: &[u32]) {
         assert_eq!(zs.len(), xs.len(), "column slices must align");
+        let mut acc = std::mem::replace(&mut self.scratch, HistAccumulator::new(0, 1));
+        acc.accumulate(zs, xs);
+        self.merge_ref(&acc);
+        acc.clear();
+        self.scratch = acc;
+    }
+
+    /// Folds a batch of phase-free count deltas (see [`HistAccumulator`])
+    /// into the state machine, consuming the accumulator. Equivalent to
+    /// ingesting the accumulated tuples one by one in any order — the
+    /// merge half of the shard-parallel ingestion protocol.
+    ///
+    /// # Panics
+    /// Panics if the accumulator's domain differs from this run's, or
+    /// after completion.
+    pub fn merge(&mut self, acc: HistAccumulator) {
+        self.merge_ref(&acc);
+    }
+
+    /// [`Self::merge`] by reference, leaving the accumulator intact so
+    /// callers can [`HistAccumulator::clear`] and reuse its storage.
+    ///
+    /// # Panics
+    /// Panics if the accumulator's domain differs from this run's, or
+    /// after completion.
+    pub fn merge_ref(&mut self, acc: &HistAccumulator) {
+        assert_eq!(
+            acc.num_candidates(),
+            self.counts.num_candidates(),
+            "candidate domains must match"
+        );
+        assert_eq!(
+            acc.groups(),
+            self.counts.groups(),
+            "group domains must match"
+        );
         match &mut self.phase {
             Phase::Stage1 { taken } => {
-                *taken += zs.len() as u64;
-                for (&c, &g) in zs.iter().zip(xs) {
-                    self.counts.record_cumulative(c, g);
+                *taken += acc.tuples();
+                for &c in acc.touched() {
+                    let ci = c as usize;
+                    self.counts
+                        .record_cumulative_row(ci, acc.candidate_counts(ci), acc.n(ci));
                 }
             }
             Phase::Stage2 { .. } => {
-                for (&c, &g) in zs.iter().zip(xs) {
-                    if self.pruned[c as usize] {
+                for &c in acc.touched() {
+                    let ci = c as usize;
+                    if self.pruned[ci] {
                         continue;
                     }
-                    self.counts.record_round(c, g);
-                    let r = &mut self.remaining[c as usize];
+                    let added = acc.n(ci);
+                    self.counts
+                        .record_round_row(ci, acc.candidate_counts(ci), added);
+                    let r = &mut self.remaining[ci];
                     if *r > 0 {
-                        *r -= 1;
+                        *r = r.saturating_sub(added);
                         if *r == 0 {
                             self.active_count -= 1;
                         }
@@ -334,14 +394,17 @@ impl HistSim {
                 }
             }
             Phase::Stage3 => {
-                for (&c, &g) in zs.iter().zip(xs) {
-                    if self.pruned[c as usize] {
+                for &c in acc.touched() {
+                    let ci = c as usize;
+                    if self.pruned[ci] {
                         continue;
                     }
-                    self.counts.record_cumulative(c, g);
-                    let r = &mut self.remaining[c as usize];
+                    let added = acc.n(ci);
+                    self.counts
+                        .record_cumulative_row(ci, acc.candidate_counts(ci), added);
+                    let r = &mut self.remaining[ci];
                     if *r > 0 {
-                        *r -= 1;
+                        *r = r.saturating_sub(added);
                         if *r == 0 {
                             self.active_count -= 1;
                         }
@@ -355,9 +418,7 @@ impl HistSim {
     /// Checked variant of [`Self::ingest`].
     pub fn try_ingest(&mut self, c: u32, g: u32) -> Result<()> {
         if matches!(self.phase, Phase::Done) {
-            return Err(CoreError::PhaseViolation(
-                "ingest after completion".into(),
-            ));
+            return Err(CoreError::PhaseViolation("ingest after completion".into()));
         }
         if (c as usize) >= self.counts.num_candidates() || (g as usize) >= self.counts.groups() {
             return Err(CoreError::SampleOutOfDomain {
@@ -435,8 +496,12 @@ impl HistSim {
         // Appendix A.1.5: one extra test for the aggregate of unseen
         // candidates, with observed count 0.
         if self.cfg.test_unseen_mass {
-            let dummy =
-                hypergeometric::underrepresentation_pvalues(&[0], self.n_total_rows, self.cfg.sigma, taken)[0];
+            let dummy = hypergeometric::underrepresentation_pvalues(
+                &[0],
+                self.n_total_rows,
+                self.cfg.sigma,
+                taken,
+            )[0];
             pvals.push(dummy);
         }
         let hb = HolmBonferroni::test(&pvals, self.cfg.delta / 3.0);
@@ -570,14 +635,14 @@ impl HistSim {
         let eps_half = self.cfg.epsilon / 2.0;
 
         let mut pvals = Vec::with_capacity(self.a_size());
-        for i in 0..self.counts.num_candidates() {
+        for (i, &in_m_i) in in_m.iter().enumerate().take(self.counts.num_candidates()) {
             if self.pruned[i] {
                 continue;
             }
             let p = if self.exact[i] {
                 // Counts are exact: the hypothesis is decided, not tested.
                 let tau_exact = self.counts.tau_total(i, self.cfg.metric, &self.target);
-                let null_false = if in_m[i] {
+                let null_false = if in_m_i {
                     tau_exact < s + eps_half
                 } else {
                     s - eps_half < 0.0 || tau_exact > s - eps_half
@@ -587,7 +652,7 @@ impl HistSim {
                 } else {
                     1.0
                 }
-            } else if in_m[i] {
+            } else if in_m_i {
                 match self.counts.tau_round(i, self.cfg.metric, &self.target) {
                     Some(tr) => {
                         let eps_i = s + eps_half - tr;
@@ -941,6 +1006,113 @@ mod tests {
         // candidate 1 (τ = 2.0) is much further from the split than
         // candidate 2 (τ = 1.0): it needs fewer fresh samples.
         assert!(r[1] < r[2], "far candidate needs fewer samples: {r:?}");
+    }
+
+    #[test]
+    fn merge_equals_ingest_block_across_phases() {
+        // Drive two identical runs — one via ingest_block, one via shard
+        // accumulators merged out of order — through stage 1 into stage 2
+        // and compare the full state (Debug repr is a faithful dump of
+        // every field).
+        let cfg = HistSimConfig {
+            k: 1,
+            stage1_samples: 12,
+            sigma: 0.0,
+            epsilon: 0.05,
+            ..tiny_config()
+        };
+        let mk = || HistSim::new(cfg.clone(), 3, 2, 100_000, &[0.5, 0.5]).unwrap();
+        let zs: Vec<u32> = (0..12u32).map(|i| i % 3).collect();
+        let xs: Vec<u32> = (0..12u32).map(|i| (i / 3) % 2).collect();
+
+        let mut seq = mk();
+        seq.ingest_block(&zs, &xs);
+        let mut par = mk();
+        let mut a = HistAccumulator::new(3, 2);
+        let mut b = HistAccumulator::new(3, 2);
+        a.accumulate(&zs[..5], &xs[..5]);
+        b.accumulate(&zs[5..], &xs[5..]);
+        par.merge(b);
+        par.merge(a);
+        assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+
+        seq.complete_io_phase(false).unwrap();
+        par.complete_io_phase(false).unwrap();
+        assert_eq!(seq.phase(), PhaseKind::Stage2);
+        assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+
+        // Stage-2 merge: per-candidate demand decrements saturate the same
+        // way in bulk as per tuple.
+        let zs2: Vec<u32> = (0..30u32).map(|i| i % 3).collect();
+        let xs2: Vec<u32> = (0..30u32).map(|i| i % 2).collect();
+        seq.ingest_block(&zs2, &xs2);
+        let mut acc = HistAccumulator::new(3, 2);
+        acc.accumulate(&zs2, &xs2);
+        par.merge(acc);
+        assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+    }
+
+    #[test]
+    fn per_tuple_ingest_equals_merge() {
+        // `ingest` is a specialized single-delta path: it must stay
+        // byte-identical to accumulating the same tuples and merging.
+        let cfg = HistSimConfig {
+            k: 1,
+            stage1_samples: 6,
+            sigma: 0.0,
+            epsilon: 0.1,
+            ..tiny_config()
+        };
+        let mk = || HistSim::new(cfg.clone(), 3, 2, 10_000, &[0.5, 0.5]).unwrap();
+        let tuples = [(0u32, 0u32), (1, 1), (2, 0), (0, 1), (1, 0), (2, 1)];
+        let mut a = mk();
+        let mut b = mk();
+        for &(c, g) in &tuples {
+            a.ingest(c, g);
+        }
+        let mut acc = HistAccumulator::new(3, 2);
+        for &(c, g) in &tuples {
+            acc.accumulate_one(c, g);
+        }
+        b.merge(acc);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        a.complete_io_phase(false).unwrap();
+        b.complete_io_phase(false).unwrap();
+        // stage 2: per-tuple decrements vs one bulk decrement
+        for _ in 0..20 {
+            for &(c, g) in &tuples {
+                a.ingest(c, g);
+            }
+        }
+        let mut acc = HistAccumulator::new(3, 2);
+        for _ in 0..20 {
+            for &(c, g) in &tuples {
+                acc.accumulate_one(c, g);
+            }
+        }
+        b.merge(acc);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn merge_after_done_panics() {
+        let mut hs = HistSim::new(tiny_config(), 2, 2, 4, &[0.5, 0.5]).unwrap();
+        hs.ingest(0, 0);
+        hs.complete_io_phase(true).unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut hs2 = hs.clone();
+            hs2.merge(HistAccumulator::new(2, 2));
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_domains() {
+        let mut hs = HistSim::new(tiny_config(), 2, 2, 100, &[0.5, 0.5]).unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            hs.merge(HistAccumulator::new(3, 2));
+        }));
+        assert!(r.is_err());
     }
 
     #[test]

@@ -67,6 +67,40 @@ impl CountState {
         self.n_round[c] += 1;
     }
 
+    /// Adds a whole delta row (one per group, totalling `n_delta`) to one
+    /// candidate's cumulative counts — the bulk form of
+    /// [`Self::record_cumulative`] used when merging accumulators.
+    ///
+    /// # Panics
+    /// Panics if `deltas` does not have exactly `groups` entries.
+    #[inline]
+    pub fn record_cumulative_row(&mut self, candidate: usize, deltas: &[u64], n_delta: u64) {
+        assert_eq!(deltas.len(), self.groups, "delta row arity");
+        let base = candidate * self.groups;
+        for (cell, &d) in self.counts[base..base + self.groups].iter_mut().zip(deltas) {
+            *cell += d;
+        }
+        self.n[candidate] += n_delta;
+    }
+
+    /// Adds a whole delta row to one candidate's round-fresh counts — the
+    /// bulk form of [`Self::record_round`] used when merging accumulators.
+    ///
+    /// # Panics
+    /// Panics if `deltas` does not have exactly `groups` entries.
+    #[inline]
+    pub fn record_round_row(&mut self, candidate: usize, deltas: &[u64], n_delta: u64) {
+        assert_eq!(deltas.len(), self.groups, "delta row arity");
+        let base = candidate * self.groups;
+        for (cell, &d) in self.round_counts[base..base + self.groups]
+            .iter_mut()
+            .zip(deltas)
+        {
+            *cell += d;
+        }
+        self.n_round[candidate] += n_delta;
+    }
+
     /// Cumulative sample count `nᵢ`.
     pub fn n(&self, candidate: usize) -> u64 {
         self.n[candidate]
@@ -126,8 +160,8 @@ impl CountState {
 
     /// Recomputes `τᵢ` for every candidate for which `eligible` is true.
     pub fn refresh_tau(&mut self, metric: Metric, target: &[f64], eligible: &[bool]) {
-        for c in 0..self.num_candidates {
-            if eligible[c] {
+        for (c, &e) in eligible.iter().enumerate().take(self.num_candidates) {
+            if e {
                 self.refresh_tau_one(c, metric, target);
             }
         }
@@ -155,9 +189,9 @@ impl CountState {
         let inv = 1.0 / n as f64;
         let mut acc_l1 = 0.0;
         let mut acc_l2 = 0.0;
-        for g in 0..self.groups {
+        for (g, &t) in target.iter().enumerate().take(self.groups) {
             let p = (self.counts[base + g] + self.round_counts[base + g]) as f64 * inv;
-            let d = p - target[g];
+            let d = p - t;
             acc_l1 += d.abs();
             acc_l2 += d * d;
         }
@@ -238,6 +272,25 @@ mod tests {
         assert_eq!(s.candidate_counts(0), &[1, 1]);
         assert_eq!(s.candidate_counts(2), &[0, 1]);
         assert_eq!(s.total_samples(), 3);
+    }
+
+    #[test]
+    fn row_records_equal_repeated_single_records() {
+        let mut bulk = CountState::new(2, 3);
+        let mut single = CountState::new(2, 3);
+        bulk.record_cumulative_row(1, &[2, 0, 1], 3);
+        bulk.record_round_row(0, &[0, 4, 0], 4);
+        for _ in 0..2 {
+            single.record_cumulative(1, 0);
+        }
+        single.record_cumulative(1, 2);
+        for _ in 0..4 {
+            single.record_round(0, 1);
+        }
+        assert_eq!(bulk.candidate_counts(1), single.candidate_counts(1));
+        assert_eq!(bulk.n(1), single.n(1));
+        assert_eq!(bulk.n_round(0), single.n_round(0));
+        assert_eq!(bulk.total_samples(), single.total_samples());
     }
 
     #[test]

@@ -51,5 +51,7 @@ pub mod topk;
 pub use distance::Metric;
 pub use error::{CoreError, Result};
 pub use histogram::Histogram;
-pub use histsim::{Demand, HistSim, HistSimConfig, HistSimOutput, MatchedCandidate, PhaseKind};
+pub use histsim::{
+    Demand, HistAccumulator, HistSim, HistSimConfig, HistSimOutput, MatchedCandidate, PhaseKind,
+};
 pub use sampler::{MemorySampler, Sample};

@@ -142,11 +142,15 @@ mod tests {
         let t = tuples_from_histograms(&[vec![2, 1], vec![0, 3]]);
         assert_eq!(t.len(), 6);
         assert_eq!(
-            t.iter().filter(|s| s.candidate == 0 && s.group == 0).count(),
+            t.iter()
+                .filter(|s| s.candidate == 0 && s.group == 0)
+                .count(),
             2
         );
         assert_eq!(
-            t.iter().filter(|s| s.candidate == 1 && s.group == 1).count(),
+            t.iter()
+                .filter(|s| s.candidate == 1 && s.group == 1)
+                .count(),
             3
         );
     }
@@ -155,9 +159,9 @@ mod tests {
     fn finds_the_obvious_match_small_data() {
         // Three candidates; candidate 1 matches the target exactly.
         let hists = vec![
-            vec![90, 10, 0, 0], // far
+            vec![90, 10, 0, 0],   // far
             vec![25, 25, 25, 25], // exact match to uniform target
-            vec![0, 0, 50, 50], // far
+            vec![0, 0, 50, 50],   // far
         ];
         let cfg = HistSimConfig {
             k: 1,

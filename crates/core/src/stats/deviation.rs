@@ -71,9 +71,7 @@ impl DeviationBound {
         assert!(eps > 0.0, "epsilon must be positive");
         assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
         match self {
-            DeviationBound::L1 { .. } => {
-                (2.0 * self.ln_term(delta) / (eps * eps)).ceil() as u64
-            }
+            DeviationBound::L1 { .. } => (2.0 * self.ln_term(delta) / (eps * eps)).ceil() as u64,
             DeviationBound::L2 => {
                 // Solve 1/√n + sqrt(2 ln(1/δ)/n) ≤ ε  ⇔  n ≥ ((1 + √(2L))/ε)²
                 let root = 1.0 + (2.0 * self.ln_term(delta)).sqrt();

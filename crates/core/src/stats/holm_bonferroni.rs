@@ -122,8 +122,8 @@ mod tests {
         for ps in cases {
             let bf = bonferroni(ps, 0.05);
             let hb = HolmBonferroni::test(ps, 0.05);
-            for i in 0..ps.len() {
-                if bf[i] {
+            for (i, &b) in bf.iter().enumerate() {
+                if b {
                     assert!(hb.rejected()[i], "Holm must dominate Bonferroni: {ps:?}");
                 }
             }

@@ -106,8 +106,7 @@ pub fn underrepresentation_pvalues(
         j += 1;
     }
 
-    n_is
-        .iter()
+    n_is.iter()
         .map(|&ni| {
             if ni < lo {
                 0.0

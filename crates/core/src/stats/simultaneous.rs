@@ -80,10 +80,7 @@ mod tests {
 
     #[test]
     fn zero_pvalues_always_reject() {
-        assert_eq!(
-            simultaneous_test([0.0, 0.0], 1e-300),
-            Decision::RejectAll
-        );
+        assert_eq!(simultaneous_test([0.0, 0.0], 1e-300), Decision::RejectAll);
     }
 
     #[test]

@@ -120,9 +120,9 @@ mod tests {
 
     #[test]
     fn ln_factorial_exact_small_values() {
-        let expected = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        let expected = [1.0f64, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
         for (n, &f) in expected.iter().enumerate() {
-            assert_close(ln_factorial(n as u64), (f as f64).ln(), 1e-14);
+            assert_close(ln_factorial(n as u64), f.ln(), 1e-14);
         }
     }
 

@@ -92,7 +92,7 @@ mod tests {
         let tau = [0.1, 0.2, 0.3];
         // asking for 5..10 matches with 3 candidates: return something ≤ 3
         let k = choose_k_in_range(&tau, 5, 10);
-        assert!(k <= 3 && k >= 1, "k = {k}");
+        assert!((1..=3).contains(&k), "k = {k}");
     }
 
     #[test]

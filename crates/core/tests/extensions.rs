@@ -45,7 +45,11 @@ fn k_range_picks_the_natural_cluster() {
         ..HistSimConfig::default()
     };
     let out = run(cfg, &clustered_hists(), 3);
-    assert_eq!(out.diagnostics.effective_k, 7, "chose k = {}", out.diagnostics.effective_k);
+    assert_eq!(
+        out.diagnostics.effective_k, 7,
+        "chose k = {}",
+        out.diagnostics.effective_k
+    );
     let mut ids = out.candidate_ids();
     ids.sort_unstable();
     assert_eq!(ids, (0..7).collect::<Vec<u32>>());
@@ -107,8 +111,10 @@ fn dual_epsilon_tightens_reconstruction_only() {
 
 #[test]
 fn l2_metric_runs_end_to_end() {
-    // Appendix A.2.2: the ℓ2 bound variant identifies the same obvious
-    // cluster head.
+    // Appendix A.2.2: the ℓ2 bound variant identifies the near-uniform
+    // cluster. The seven cluster members are only ≈ 0.003 apart in ℓ2 —
+    // far below ε — so any of them is a separation-correct top-1; which
+    // one wins is sampling noise, not semantics.
     let cfg = HistSimConfig {
         k: 1,
         metric: Metric::L2,
@@ -119,7 +125,8 @@ fn l2_metric_runs_end_to_end() {
         ..HistSimConfig::default()
     };
     let out = run(cfg, &clustered_hists(), 6);
-    assert_eq!(out.candidate_ids(), vec![0]);
+    assert_eq!(out.matches.len(), 1);
+    assert!(out.candidate_ids()[0] < 7, "got {:?}", out.candidate_ids());
 }
 
 #[test]

@@ -1,0 +1,168 @@
+//! Property tests for the shard-accumulator ingestion path: splitting any
+//! block stream across k shard accumulators and merging must be
+//! indistinguishable — byte for byte — from sequential `ingest_block`.
+
+use proptest::prelude::*;
+
+use fastmatch_core::histsim::{HistAccumulator, HistSim, HistSimConfig, PhaseKind};
+
+/// Expands seeds into a concrete tuple stream for a given domain.
+fn stream_for(nc: usize, ng: usize, picks: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    picks
+        .iter()
+        .map(|&(a, b)| ((a as usize % nc) as u32, (b as usize % ng) as u32))
+        .collect()
+}
+
+/// Splits `tuples` into blocks of `block` tuples and returns the column
+/// slices of block `i`.
+fn blocks_of(tuples: &[(u32, u32)], block: usize) -> Vec<(Vec<u32>, Vec<u32>)> {
+    tuples
+        .chunks(block.max(1))
+        .map(|chunk| {
+            (
+                chunk.iter().map(|t| t.0).collect(),
+                chunk.iter().map(|t| t.1).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Deterministic config exercising all three stages on small streams.
+fn cfg(k: usize, stage1: u64) -> HistSimConfig {
+    HistSimConfig {
+        k,
+        epsilon: 0.2,
+        delta: 0.05,
+        sigma: 0.0,
+        stage1_samples: stage1,
+        ..HistSimConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Within one I/O phase: any k-way shard split of a block stream,
+    /// merged in any shard order, leaves HistSim byte-identical (Debug
+    /// repr dumps every field) to sequential ingest_block.
+    #[test]
+    fn sharded_merge_is_byte_identical_within_phase(
+        picks in prop::collection::vec((0u32..1000, 0u32..1000), 8..160),
+        nc in 2usize..12,
+        ng in 2usize..6,
+        block in 1usize..16,
+        k_shards in 1usize..6,
+    ) {
+        let tuples = stream_for(nc, ng, &picks);
+        let blocks = blocks_of(&tuples, block);
+        let make = || HistSim::new(cfg(1, 1_000_000), nc, ng, 1_000_000, &vec![1.0 / ng as f64; ng]).unwrap();
+
+        // Sequential reference: one ingest_block per block.
+        let mut seq = make();
+        for (zs, xs) in &blocks {
+            seq.ingest_block(zs, xs);
+        }
+
+        // Sharded: round-robin blocks over k accumulators, merge them in
+        // reversed shard order (order must not matter).
+        let mut shards: Vec<HistAccumulator> =
+            (0..k_shards).map(|_| HistAccumulator::new(nc, ng)).collect();
+        for (i, (zs, xs)) in blocks.iter().enumerate() {
+            shards[i % k_shards].accumulate(zs, xs);
+        }
+        let mut par = make();
+        for acc in shards.into_iter().rev() {
+            par.merge(acc);
+        }
+
+        prop_assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+    }
+
+    /// Tree reduction: merging shard accumulators into one accumulator
+    /// first (merge_from), then into HistSim, equals both the flat-merge
+    /// and the sequential paths.
+    #[test]
+    fn tree_reduction_equals_flat_merge(
+        picks in prop::collection::vec((0u32..1000, 0u32..1000), 4..120),
+        nc in 2usize..10,
+        ng in 2usize..5,
+        k_shards in 2usize..5,
+    ) {
+        let tuples = stream_for(nc, ng, &picks);
+        let make = || HistSim::new(cfg(1, 1_000_000), nc, ng, 1_000_000, &vec![1.0 / ng as f64; ng]).unwrap();
+
+        let mut seq = make();
+        let zs: Vec<u32> = tuples.iter().map(|t| t.0).collect();
+        let xs: Vec<u32> = tuples.iter().map(|t| t.1).collect();
+        seq.ingest_block(&zs, &xs);
+
+        let mut shards: Vec<HistAccumulator> =
+            (0..k_shards).map(|_| HistAccumulator::new(nc, ng)).collect();
+        for (i, &(z, x)) in tuples.iter().enumerate() {
+            shards[i % k_shards].accumulate_one(z, x);
+        }
+        let mut root = HistAccumulator::new(nc, ng);
+        for s in &shards {
+            root.merge_from(s);
+        }
+        let mut par = make();
+        par.merge(root);
+
+        prop_assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+    }
+
+    /// Across phase boundaries and to completion: driving two runs with
+    /// the same per-phase sample schedule — one per-block sequential, one
+    /// shard-merged — produces byte-identical state at every phase
+    /// transition and identical output.
+    #[test]
+    fn full_run_equivalence_across_phases(
+        picks in prop::collection::vec((0u32..1000, 0u32..1000), 60..240),
+        nc in 2usize..8,
+        ng in 2usize..5,
+        k_shards in 1usize..5,
+        stage1 in 8u64..40,
+    ) {
+        let tuples = stream_for(nc, ng, &picks);
+        let n = tuples.len() as u64;
+        let target = vec![1.0 / ng as f64; ng];
+        let make = || HistSim::new(cfg(1, stage1), nc, ng, n, &target).unwrap();
+        let mut seq = make();
+        let mut par = make();
+
+        // Feed both runs the same stream in lockstep, phase by phase:
+        // sequential ingests per block of 7, parallel accumulates the
+        // same blocks round-robin into k shards and merges at each
+        // demand-satisfaction point.
+        let blocks = blocks_of(&tuples, 7);
+        let mut next_block = 0usize;
+        while !seq.is_done() && next_block < blocks.len() {
+            // One I/O phase: deliver blocks until demand is satisfied or
+            // the stream runs dry.
+            let mut shards: Vec<HistAccumulator> =
+                (0..k_shards).map(|_| HistAccumulator::new(nc, ng)).collect();
+            let mut i = 0usize;
+            while !seq.io_satisfied() && next_block < blocks.len() {
+                let (zs, xs) = &blocks[next_block];
+                next_block += 1;
+                seq.ingest_block(zs, xs);
+                shards[i % k_shards].accumulate(zs, xs);
+                i += 1;
+            }
+            for acc in shards {
+                par.merge(acc);
+            }
+            prop_assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+            let exhausted = next_block >= blocks.len() && !seq.io_satisfied();
+            seq.complete_io_phase(exhausted).unwrap();
+            par.complete_io_phase(exhausted).unwrap();
+            prop_assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+        }
+        if seq.phase() == PhaseKind::Done {
+            let a = seq.output().unwrap();
+            let b = par.output().unwrap();
+            prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+}

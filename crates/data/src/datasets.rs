@@ -15,7 +15,9 @@
 
 use fastmatch_store::table::Table;
 
-use crate::gen::{conditional_with_planted_pool, generate_table, plant_shapes, ColumnGen, ColumnSpec};
+use crate::gen::{
+    conditional_with_planted_pool, generate_table, plant_shapes, ColumnGen, ColumnSpec,
+};
 use crate::shapes::{bimodal, far_pool, geometric, normalize, uniform};
 use crate::zipf::three_tier_weights;
 
@@ -366,7 +368,11 @@ pub fn police(rows: usize, seed: u64) -> Table {
         seed ^ 0x33,
     );
     let specs = vec![
-        ColumnSpec::new("RoadID", roads as u32, ColumnGen::PrimaryWeighted(road_sizes)),
+        ColumnSpec::new(
+            "RoadID",
+            roads as u32,
+            ColumnGen::PrimaryWeighted(road_sizes),
+        ),
         ColumnSpec::new(
             "Violation",
             violations as u32,
@@ -529,8 +535,8 @@ mod tests {
     fn taxi_hubs_are_frequent() {
         let t = taxi(500_000, 5);
         let counts = t.value_counts(0);
-        for c in 0..10 {
-            let sel = counts[c] as f64 / 500_000.0;
+        for (c, &count) in counts.iter().enumerate().take(10) {
+            let sel = count as f64 / 500_000.0;
             assert!(sel > 0.02, "hub {c} sel {sel}");
         }
     }

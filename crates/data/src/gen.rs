@@ -131,15 +131,13 @@ pub fn generate_table(specs: &[ColumnSpec], rows: usize, seed: u64) -> Table {
 /// of `shape` — used to plant a *second* match cluster (e.g. FLIGHTS-q2's
 /// ATW-like airports) into a conditional table built around a different
 /// primary target.
-pub fn plant_shapes(
-    dists: &mut [Vec<f64>],
-    shape: &[f64],
-    planted: &[(u32, f64)],
-    seed: u64,
-) {
+pub fn plant_shapes(dists: &mut [Vec<f64>], shape: &[f64], planted: &[(u32, f64)], seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     for &(z, amount) in planted {
-        assert!((z as usize) < dists.len(), "planted candidate {z} out of range");
+        assert!(
+            (z as usize) < dists.len(),
+            "planted candidate {z} out of range"
+        );
         dists[z as usize] = perturb(shape, amount, &mut rng);
     }
 }
@@ -297,9 +295,8 @@ mod tests {
     fn planted_candidates_are_near_target() {
         let target = uniform(8);
         let dists = conditional_with_planted(50, &target, &[(3, 0.0), (10, 0.05)], 0.4, 7);
-        let l1 = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let l1 =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
         assert!(l1(&dists[3], &target) < 1e-12);
         assert!(l1(&dists[10], &target) < 0.2);
         // background candidates are much further on average

@@ -259,9 +259,8 @@ mod tests {
     fn perturb_distance_grows_with_amount() {
         let mut rng = StdRng::seed_from_u64(3);
         let base = peaked(24, 6.0, 2.0);
-        let l1 = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let l1 =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
         // average over draws to avoid flakiness
         let avg_dist = |amount: f64, rng: &mut StdRng| -> f64 {
             (0..50)

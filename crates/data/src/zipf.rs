@@ -30,7 +30,10 @@ pub fn zipf_sizes(n: usize, s: f64, total: u64) -> Vec<u64> {
 /// exercises stage-1 pruning.
 pub fn hub_zipf_weights(n: usize, hubs: usize, hub_mass: f64, s: f64) -> Vec<f64> {
     assert!(hubs <= n, "more hubs than candidates");
-    assert!((0.0..1.0).contains(&hub_mass), "hub_mass must lie in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&hub_mass),
+        "hub_mass must lie in [0, 1)"
+    );
     let tail = n - hubs;
     let mut w = Vec::with_capacity(n);
     if hubs > 0 {
@@ -118,7 +121,11 @@ mod tests {
 
     #[test]
     fn sizes_sum_exactly() {
-        for &(n, s, total) in &[(10usize, 1.0, 1000u64), (347, 1.0, 123_457), (7641, 1.5, 999_999)] {
+        for &(n, s, total) in &[
+            (10usize, 1.0, 1000u64),
+            (347, 1.0, 123_457),
+            (7641, 1.5, 999_999),
+        ] {
             let sizes = zipf_sizes(n, s, total);
             assert_eq!(sizes.iter().sum::<u64>(), total, "n={n} s={s}");
             assert_eq!(sizes.len(), n);
@@ -190,13 +197,13 @@ mod tests {
             assert!((w[i] - w[0]).abs() < 1e-15);
         }
         // mid decreasing, all above twice a σ = 0.0008 threshold
-        for i in 16..75 {
-            assert!(w[i] >= w[i + 1] - 1e-15);
+        for (i, pair) in w[16..=75].windows(2).enumerate() {
+            assert!(pair[0] >= pair[1] - 1e-15, "mid {i}");
         }
         assert!(w[75] > 2.0 * 0.0008, "lightest mid = {}", w[75]);
         // deep tail well below σ
-        for i in 76..347 {
-            assert!(w[i] < 0.2 * 0.0008, "deep {i} = {}", w[i]);
+        for (i, &wi) in w.iter().enumerate().take(347).skip(76) {
+            assert!(wi < 0.2 * 0.0008, "deep {i} = {wi}");
         }
     }
 

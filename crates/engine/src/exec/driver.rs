@@ -1,0 +1,131 @@
+//! The shared statistics-engine driver.
+//!
+//! Every executor that runs the HistSim protocol repeats the same
+//! scaffolding: build the state machine, mark never-present candidates
+//! exact, feed it samples while tracking per-candidate consumption,
+//! advance phases whenever demand is met, publish fresh demand to any
+//! sampling-engine threads, and package the output with run statistics.
+//! [`Driver`] owns exactly that scaffolding so `ScanMatch`/`SyncMatch`
+//! (sequential), `FastMatch` (async lookahead) and `ParallelMatch`
+//! (sharded workers) differ only in *how blocks are chosen and delivered*,
+//! not in how HistSim is driven.
+
+use std::time::Instant;
+
+use fastmatch_core::error::Result;
+use fastmatch_core::histsim::{HistAccumulator, HistSim, PhaseKind};
+use fastmatch_store::io::IoStats;
+
+use crate::progress::ConsumptionTracker;
+use crate::query::QueryJob;
+use crate::result::{MatchOutput, RunStats};
+use crate::shared::{DemandMode, SharedDemand};
+
+/// Distinct candidates of one block delivered by a shard worker, so the
+/// statistics thread can maintain consumption tracking without re-reading
+/// the block.
+#[derive(Debug)]
+pub(crate) struct BlockTouch {
+    /// Block id.
+    pub id: u32,
+    /// Distinct candidate codes appearing in the block.
+    pub candidates: Vec<u32>,
+}
+
+/// The statistics engine shared by all HistSim executors: the state
+/// machine plus consumption tracking and run-stats packaging.
+pub(crate) struct Driver {
+    /// The state machine being driven.
+    pub hs: HistSim,
+    tracker: ConsumptionTracker,
+    t0: Instant,
+}
+
+impl Driver {
+    /// Builds the state machine for `job` and marks candidates that never
+    /// occur in the data as exact (they can yield no samples).
+    pub fn new(job: &QueryJob<'_>) -> Result<Self> {
+        let t0 = Instant::now();
+        let mut hs = HistSim::new(
+            job.cfg.clone(),
+            job.num_candidates(),
+            job.num_groups(),
+            job.table.n_rows() as u64,
+            &job.target,
+        )?;
+        let tracker = ConsumptionTracker::new(job.bitmap);
+        let absent: Vec<u32> = tracker.never_present().collect();
+        for c in absent {
+            hs.mark_exact(c);
+        }
+        Ok(Driver { hs, tracker, t0 })
+    }
+
+    /// Ingests one read block and updates consumption tracking — the
+    /// synchronous ingestion path.
+    #[inline]
+    pub fn ingest_block(&mut self, b: usize, zs: &[u32], xs: &[u32]) {
+        self.hs.ingest_block(zs, xs);
+        let hs = &mut self.hs;
+        self.tracker.block_read(b, zs, |c| hs.mark_exact(c));
+    }
+
+    /// Merges a shard batch: folds the accumulated deltas into the state
+    /// machine and updates consumption tracking from the per-block
+    /// distinct-candidate lists — the parallel ingestion path.
+    pub fn merge_batch(&mut self, acc: HistAccumulator, blocks: &[BlockTouch]) {
+        self.hs.merge(acc);
+        let hs = &mut self.hs;
+        for bt in blocks {
+            self.tracker
+                .block_read(bt.id as usize, &bt.candidates, |c| hs.mark_exact(c));
+        }
+    }
+
+    /// Advances the state machine through every phase whose demand is
+    /// already satisfied.
+    pub fn advance(&mut self) -> Result<()> {
+        while self.hs.io_satisfied() && !self.hs.is_done() {
+            self.hs.complete_io_phase(false)?;
+        }
+        Ok(())
+    }
+
+    /// [`Self::advance`], then publishes the resulting demand snapshot for
+    /// sampling-engine / shard-worker threads.
+    pub fn advance_and_publish(&mut self, shared: &SharedDemand) -> Result<()> {
+        self.advance()?;
+        match self.hs.phase() {
+            PhaseKind::Stage1 => shared.set_mode(DemandMode::ReadAll),
+            PhaseKind::Stage2 | PhaseKind::Stage3 => {
+                shared.publish_remaining(self.hs.remaining_slice());
+                shared.set_mode(DemandMode::AnyActive);
+            }
+            PhaseKind::Done => shared.set_mode(DemandMode::Stop),
+        }
+        Ok(())
+    }
+
+    /// Finishes the run in exact mode: the entire table has been consumed.
+    pub fn finish_exhausted(&mut self) -> Result<()> {
+        self.advance()?;
+        if !self.hs.is_done() {
+            self.hs.complete_io_phase(true)?;
+        }
+        Ok(())
+    }
+
+    /// Extracts the output and packages it with run statistics.
+    pub fn finish(self, io: IoStats) -> Result<MatchOutput> {
+        let output = self.hs.output()?;
+        let stats = RunStats {
+            wall: self.t0.elapsed(),
+            io,
+            stage2_rounds: output.diagnostics.stage2_rounds,
+            samples: output.diagnostics.total_samples,
+            exact_finish: output.diagnostics.exact_finish,
+            pruned: output.diagnostics.pruned_candidates,
+        };
+        Ok(MatchOutput { output, stats })
+    }
+}

@@ -18,21 +18,19 @@
 //! engine may be slightly stale; correctness is unaffected (stale reads
 //! only deliver extra valid samples), only efficiency is at stake.
 
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-use crossbeam::channel::{bounded, Receiver, Sender};
+use std::time::Duration;
 
 use fastmatch_core::error::{CoreError, Result};
-use fastmatch_core::histsim::{HistSim, PhaseKind};
 use fastmatch_store::bitmap::BitmapIndex;
-use fastmatch_store::io::BlockReader;
+use fastmatch_store::io::{BlockReader, IoStats};
 
+use crate::exec::driver::Driver;
 use crate::exec::{start_block, Executor};
 use crate::policy::mark_lookahead;
-use crate::progress::ConsumptionTracker;
 use crate::query::QueryJob;
-use crate::result::{MatchOutput, RunStats};
+use crate::result::MatchOutput;
 use crate::shared::{DemandMode, SharedDemand};
 
 /// Default lookahead window (paper default, §5.2).
@@ -42,7 +40,6 @@ pub const DEFAULT_LOOKAHEAD: usize = 1024;
 /// demand. Staleness of a few blocks is negligible next to the lookahead
 /// window itself.
 const PUBLISH_EVERY: u64 = 16;
-
 
 /// The full FastMatch executor.
 #[derive(Debug, Clone, Copy)]
@@ -92,19 +89,7 @@ impl Executor for FastMatchExec {
     }
 
     fn run(&self, job: &QueryJob<'_>, seed: u64) -> Result<MatchOutput> {
-        let t0 = Instant::now();
-        let mut hs = HistSim::new(
-            job.cfg.clone(),
-            job.num_candidates(),
-            job.num_groups(),
-            job.table.n_rows() as u64,
-            &job.target,
-        )?;
-        let mut tracker = ConsumptionTracker::new(job.bitmap);
-        let absent: Vec<u32> = tracker.never_present().collect();
-        for c in absent {
-            hs.mark_exact(c);
-        }
+        let mut d = Driver::new(job)?;
 
         let nb = job.layout.num_blocks();
         let start = start_block(nb, seed);
@@ -114,21 +99,21 @@ impl Executor for FastMatchExec {
         // One message per lookahead window; capacity 2 keeps the sampling
         // engine at most two windows ahead of I/O (§4.2 Challenge 4's
         // freshness bound).
-        let (tx, rx) = bounded::<Msg>(2);
+        let (tx, rx) = sync_channel::<Msg>(2);
         let lookahead = self.lookahead;
         let bitmap = job.bitmap;
         let shared_for_marker = Arc::clone(&shared);
 
-        let mut result: Option<Result<MatchOutput>> = None;
+        let mut result: Option<Result<IoStats>> = None;
         std::thread::scope(|scope| {
             scope.spawn(move || {
                 sampling_engine(bitmap, &shared_for_marker, tx, nb, start, lookahead);
             });
-            let r = io_and_stats_loop(job, &mut hs, &mut tracker, &shared, rx, t0);
+            let r = io_and_stats_loop(job, &mut d, &shared, rx);
             shared.set_mode(DemandMode::Stop);
             result = Some(r);
         });
-        result.expect("scope completed")
+        result.expect("scope completed").and_then(|io| d.finish(io))
     }
 }
 
@@ -137,7 +122,7 @@ impl Executor for FastMatchExec {
 fn sampling_engine(
     bitmap: &BitmapIndex,
     shared: &SharedDemand,
-    tx: Sender<Msg>,
+    tx: SyncSender<Msg>,
     nb: usize,
     start: usize,
     lookahead: usize,
@@ -202,9 +187,7 @@ fn sampling_engine(
             if run_len > 0 {
                 runs.push((run_start as u32, run_len));
             }
-            if (!runs.is_empty() || skipped > 0)
-                && tx.send(Msg::Batch { runs, skipped }).is_err()
-            {
+            if (!runs.is_empty() || skipped > 0) && tx.send(Msg::Batch { runs, skipped }).is_err() {
                 break 'outer;
             }
             off += win;
@@ -228,25 +211,24 @@ fn sampling_engine(
     }
 }
 
-/// The I/O manager + statistics engine on the caller thread.
+/// The I/O manager + statistics engine on the caller thread. Returns the
+/// run's I/O accounting; the caller packages it via [`Driver::finish`].
 fn io_and_stats_loop(
     job: &QueryJob<'_>,
-    hs: &mut HistSim,
-    tracker: &mut ConsumptionTracker,
+    d: &mut Driver,
     shared: &SharedDemand,
     rx: Receiver<Msg>,
-    t0: Instant,
-) -> Result<MatchOutput> {
-    let mut reader = BlockReader::new(job.table, job.layout)
-        .with_simulated_latency(job.block_latency_ns);
+) -> Result<IoStats> {
+    let mut reader =
+        BlockReader::new(job.table, job.layout).with_simulated_latency(job.block_latency_ns);
     let mut reads_since_publish = 0u64;
     let mut had_read_since_pass_end = true;
     let mut idle_passes = 0u32;
 
     // The initial phase may already be satisfied (degenerate configs).
-    advance_and_publish(hs, shared)?;
+    d.advance_and_publish(shared)?;
 
-    while !hs.is_done() {
+    while !d.hs.is_done() {
         let msg = match rx.recv() {
             Ok(m) => m,
             Err(_) => {
@@ -261,22 +243,21 @@ fn io_and_stats_loop(
                 for (start, len) in runs {
                     had_read_since_pass_end = true;
                     for b in start..start + len {
-                        if hs.is_done() {
+                        if d.hs.is_done() {
                             break;
                         }
                         let (zs, xs) = reader.block_slices(b as usize, job.z_attr, job.x_attr);
-                        hs.ingest_block(zs, xs);
-                        tracker.block_read(b as usize, zs, |c| hs.mark_exact(c));
+                        d.ingest_block(b as usize, zs, xs);
                         reads_since_publish += 1;
-                        if hs.io_satisfied() || reads_since_publish >= PUBLISH_EVERY {
-                            advance_and_publish(hs, shared)?;
+                        if d.hs.io_satisfied() || reads_since_publish >= PUBLISH_EVERY {
+                            d.advance_and_publish(shared)?;
                             reads_since_publish = 0;
                         }
                     }
                 }
             }
             Msg::PassEnd => {
-                advance_and_publish(hs, shared)?;
+                d.advance_and_publish(shared)?;
                 if had_read_since_pass_end {
                     idle_passes = 0;
                 } else {
@@ -286,7 +267,7 @@ fn io_and_stats_loop(
                     // sustained streak (the engine sleeps 100µs per idle
                     // pass) indicates a genuine bug.
                     idle_passes += 1;
-                    if idle_passes >= 1000 && !hs.is_done() {
+                    if idle_passes >= 1000 && !d.hs.is_done() {
                         return Err(CoreError::PhaseViolation(
                             "no readable blocks for outstanding demand".into(),
                         ));
@@ -295,41 +276,13 @@ fn io_and_stats_loop(
                 had_read_since_pass_end = false;
             }
             Msg::Exhausted => {
-                advance_and_publish(hs, shared)?;
-                if !hs.is_done() {
-                    hs.complete_io_phase(true)?;
-                }
+                d.advance_and_publish(shared)?;
+                d.finish_exhausted()?;
             }
         }
     }
     shared.set_mode(DemandMode::Stop);
     drop(rx); // unblock the sampling engine
 
-    let output = hs.output()?;
-    let stats = RunStats {
-        wall: t0.elapsed(),
-        io: reader.stats(),
-        stage2_rounds: output.diagnostics.stage2_rounds,
-        samples: output.diagnostics.total_samples,
-        exact_finish: output.diagnostics.exact_finish,
-        pruned: output.diagnostics.pruned_candidates,
-    };
-    Ok(MatchOutput { output, stats })
-}
-
-/// Advances HistSim through any satisfied phases and publishes the
-/// resulting demand snapshot for the sampling engine.
-fn advance_and_publish(hs: &mut HistSim, shared: &SharedDemand) -> Result<()> {
-    while hs.io_satisfied() && !hs.is_done() {
-        hs.complete_io_phase(false)?;
-    }
-    match hs.phase() {
-        PhaseKind::Stage1 => shared.set_mode(DemandMode::ReadAll),
-        PhaseKind::Stage2 | PhaseKind::Stage3 => {
-            shared.publish_remaining(hs.remaining_slice());
-            shared.set_mode(DemandMode::AnyActive);
-        }
-        PhaseKind::Done => shared.set_mode(DemandMode::Stop),
-    }
-    Ok(())
+    Ok(reader.stats())
 }

@@ -1,31 +1,38 @@
 //! Query executors.
 //!
-//! [`Executor`] is the common interface; the four implementations form the
+//! [`Executor`] is the common interface; the implementations extend the
 //! §5.2 comparison ladder (each adds exactly one mechanism):
 //! `Scan` → `ScanMatch` (approximation) → `SyncMatch` (AnyActive block
-//! skipping) → `FastMatch` (asynchronous cache-conscious lookahead).
+//! skipping) → `FastMatch` (asynchronous cache-conscious lookahead) →
+//! `ParallelMatch` (shard-parallel ingestion over mergeable accumulators).
+//!
+//! All HistSim executors drive the state machine through the shared
+//! [`driver::Driver`]; they differ only in how blocks are selected and
+//! delivered to it.
 
+pub(crate) mod driver;
 mod fast_match;
+mod parallel_match;
 mod scan;
 mod scan_match;
 mod sync_match;
 
 pub use fast_match::FastMatchExec;
+pub use parallel_match::ParallelMatchExec;
 pub use scan::ScanExec;
 pub use scan_match::ScanMatchExec;
 pub use sync_match::SyncMatchExec;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
 
 use fastmatch_core::error::{CoreError, Result};
-use fastmatch_core::histsim::{HistSim, PhaseKind};
+use fastmatch_core::histsim::PhaseKind;
 use fastmatch_store::io::BlockReader;
 
-use crate::progress::ConsumptionTracker;
+use crate::exec::driver::Driver;
 use crate::query::QueryJob;
-use crate::result::{MatchOutput, RunStats};
+use crate::result::MatchOutput;
 
 /// A query executor: runs one top-k histogram-matching query to
 /// completion. `seed` controls the random scan start position (each run of
@@ -64,21 +71,9 @@ pub(crate) fn run_sequential(
     seed: u64,
     policy: BlockPolicy,
 ) -> Result<MatchOutput> {
-    let t0 = Instant::now();
-    let mut hs = HistSim::new(
-        job.cfg.clone(),
-        job.num_candidates(),
-        job.num_groups(),
-        job.table.n_rows() as u64,
-        &job.target,
-    )?;
-    let mut reader = BlockReader::new(job.table, job.layout)
-        .with_simulated_latency(job.block_latency_ns);
-    let mut tracker = ConsumptionTracker::new(job.bitmap);
-    let absent: Vec<u32> = tracker.never_present().collect();
-    for c in absent {
-        hs.mark_exact(c);
-    }
+    let mut d = Driver::new(job)?;
+    let mut reader =
+        BlockReader::new(job.table, job.layout).with_simulated_latency(job.block_latency_ns);
 
     let nb = job.layout.num_blocks();
     let start = start_block(nb, seed);
@@ -93,13 +88,11 @@ pub(crate) fn run_sequential(
             if read[b] {
                 continue;
             }
-            while hs.io_satisfied() && !hs.is_done() {
-                hs.complete_io_phase(false)?;
-            }
-            if hs.is_done() {
+            d.advance()?;
+            if d.hs.is_done() {
                 break 'outer;
             }
-            let do_read = match hs.phase() {
+            let do_read = match d.hs.phase() {
                 PhaseKind::Stage1 => true,
                 PhaseKind::Stage2 | PhaseKind::Stage3 => match policy {
                     BlockPolicy::ReadAll => true,
@@ -108,15 +101,14 @@ pub(crate) fn run_sequential(
                         // a time until a hit — the cache-hostile pattern
                         // whose cost §5.4 quantifies.
                         (0..job.num_candidates() as u32)
-                            .any(|c| hs.is_active(c) && job.bitmap.block_has(c, b))
+                            .any(|c| d.hs.is_active(c) && job.bitmap.block_has(c, b))
                     }
                 },
                 PhaseKind::Done => break 'outer,
             };
             if do_read {
                 let (zs, xs) = reader.block_slices(b, job.z_attr, job.x_attr);
-                hs.ingest_block(zs, xs);
-                tracker.block_read(b, zs, |c| hs.mark_exact(c));
+                d.ingest_block(b, zs, xs);
                 read[b] = true;
                 blocks_read_total += 1;
                 pass_had_reads = true;
@@ -124,14 +116,12 @@ pub(crate) fn run_sequential(
                 reader.skip_block(b);
             }
         }
-        while hs.io_satisfied() && !hs.is_done() {
-            hs.complete_io_phase(false)?;
-        }
-        if hs.is_done() {
+        d.advance()?;
+        if d.hs.is_done() {
             break;
         }
         if blocks_read_total == nb {
-            hs.complete_io_phase(true)?;
+            d.finish_exhausted()?;
             break;
         }
         idle_passes = if pass_had_reads { 0 } else { idle_passes + 1 };
@@ -144,14 +134,5 @@ pub(crate) fn run_sequential(
         }
     }
 
-    let output = hs.output()?;
-    let stats = RunStats {
-        wall: t0.elapsed(),
-        io: reader.stats(),
-        stage2_rounds: output.diagnostics.stage2_rounds,
-        samples: output.diagnostics.total_samples,
-        exact_finish: output.diagnostics.exact_finish,
-        pruned: output.diagnostics.pruned_candidates,
-    };
-    Ok(MatchOutput { output, stats })
+    d.finish(reader.stats())
 }

@@ -1,0 +1,357 @@
+//! `ParallelMatch`: shard-parallel ingestion over mergeable accumulators.
+//!
+//! FastMatch (paper §4) decouples *block selection* from the statistics
+//! engine but still funnels every tuple through one ingesting core.
+//! `ParallelMatch` removes that ceiling by splitting ingestion itself:
+//!
+//! * `N` **shard workers** each own a disjoint contiguous block range
+//!   (a [`ShardedBlockReader`]), walk it in lookahead windows applying the
+//!   same AnyActive marking as FastMatch's sampling engine (Algorithm 3),
+//!   and fold the tuples of read blocks into phase-free
+//!   [`HistAccumulator`] deltas — no locks, no shared mutable state;
+//! * the **statistics engine** (caller thread) receives accumulator
+//!   batches over a bounded channel, merges them into the authoritative
+//!   [`HistSim`](fastmatch_core::histsim::HistSim) via the shared
+//!   [`Driver`], advances phases, and publishes fresh per-candidate demand
+//!   through [`SharedDemand`] — the same phase/demand protocol every other
+//!   executor honors.
+//!
+//! Workers see demand snapshots that may be slightly stale, exactly like
+//! FastMatch's lookahead thread: stale reads only deliver extra valid
+//! samples (the table is pre-permuted, so any block set is a uniform
+//! without-replacement sample), trading a bounded amount of over-reading
+//! for never stalling any core. Each worker multi-passes its shard so
+//! blocks skipped under one round's demand stay eligible for later
+//! rounds; a worker whose shard is fully consumed reports exhaustion and
+//! exits. When every shard is exhausted the table has been fully
+//! consumed and the run finishes with exact results.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fastmatch_core::error::{CoreError, Result};
+use fastmatch_core::histsim::HistAccumulator;
+use fastmatch_store::io::{BlockReader, IoStats, ShardedBlockReader};
+
+use crate::exec::driver::{BlockTouch, Driver};
+use crate::exec::Executor;
+use crate::policy::mark_lookahead;
+use crate::query::QueryJob;
+use crate::result::MatchOutput;
+use crate::shared::{DemandMode, SharedDemand};
+
+/// Default number of shard workers: the machine's parallelism, capped —
+/// beyond a handful of cores the statistics engine's merge becomes the
+/// bottleneck before ingestion does.
+pub const DEFAULT_SHARDS: usize = 4;
+
+/// Blocks accumulated per batch message. Larger batches amortize channel
+/// and merge overhead; smaller ones bound demand staleness and stage
+/// overshoot. 32 blocks ≈ 4800 tuples at the paper's block size.
+pub const DEFAULT_BATCH_BLOCKS: usize = 32;
+
+/// Lookahead window used for AnyActive marking inside each shard.
+const MARK_WINDOW: usize = 256;
+
+/// The shard-parallel executor.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelMatchExec {
+    /// Number of shard workers (and block-range shards).
+    pub shards: usize,
+    /// Blocks per accumulator batch.
+    pub batch_blocks: usize,
+}
+
+impl Default for ParallelMatchExec {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(DEFAULT_SHARDS);
+        ParallelMatchExec {
+            shards: cores.clamp(1, 8),
+            batch_blocks: DEFAULT_BATCH_BLOCKS,
+        }
+    }
+}
+
+impl ParallelMatchExec {
+    /// Creates the executor with a fixed shard count.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        ParallelMatchExec {
+            shards,
+            batch_blocks: DEFAULT_BATCH_BLOCKS,
+        }
+    }
+
+    /// Sets the number of blocks per accumulator batch.
+    ///
+    /// # Panics
+    /// Panics if `batch_blocks` is zero.
+    pub fn with_batch_blocks(mut self, batch_blocks: usize) -> Self {
+        assert!(batch_blocks > 0, "batch size must be positive");
+        self.batch_blocks = batch_blocks;
+        self
+    }
+}
+
+/// One message from a shard worker to the statistics engine.
+enum Msg {
+    /// A batch of accumulated deltas plus the per-block distinct-candidate
+    /// lists (for consumption tracking).
+    Batch {
+        /// Phase-free count deltas of every block in `blocks`.
+        acc: HistAccumulator,
+        /// Distinct candidates per read block, in read order.
+        blocks: Vec<BlockTouch>,
+    },
+    /// The worker finished a full pass over its shard without reading a
+    /// single block and is parking until demand changes.
+    IdlePass,
+    /// The worker's shard is fully consumed; it has exited.
+    ShardExhausted,
+}
+
+impl Executor for ParallelMatchExec {
+    fn name(&self) -> &'static str {
+        "ParallelMatch"
+    }
+
+    fn run(&self, job: &QueryJob<'_>, seed: u64) -> Result<MatchOutput> {
+        let mut d = Driver::new(job)?;
+        let nb = job.layout.num_blocks();
+        let shards = self.shards.min(nb).max(1);
+        let batch_blocks = self.batch_blocks;
+
+        let shared = Arc::new(SharedDemand::new(job.num_candidates()));
+        shared.set_mode(DemandMode::ReadAll); // stage 1
+
+        // Bounded to 2 in-flight batches per worker: backpressure keeps
+        // workers from racing arbitrarily far ahead of the merge.
+        let (tx, rx) = sync_channel::<Msg>(2 * shards);
+        let reader =
+            BlockReader::new(job.table, job.layout).with_simulated_latency(job.block_latency_ns);
+
+        let mut result: Option<Result<()>> = None;
+        let mut io = IoStats::default();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|w| {
+                    let shard_reader = reader.shard(w, shards);
+                    // Seed-derived start offset within the shard: repeated
+                    // runs draw different samples, mirroring the random
+                    // scan start of the sequential executors.
+                    let start = crate::exec::start_block(
+                        shard_reader.num_blocks(),
+                        seed.wrapping_add(w as u64).wrapping_mul(0x9e37_79b9),
+                    );
+                    let tx = tx.clone();
+                    let shared = Arc::clone(&shared);
+                    scope.spawn(move || {
+                        shard_worker(job, shard_reader, &shared, tx, batch_blocks, start)
+                    })
+                })
+                .collect();
+            drop(tx); // the statistics engine holds only the receiver
+            let r = stats_loop(&mut d, &shared, rx, shards);
+            shared.set_mode(DemandMode::Stop);
+            // Workers are unblocked (receiver dropped, mode = Stop): join
+            // them and aggregate the per-shard I/O accounting, wasted
+            // reads included — the same accounting basis as FastMatch.
+            io = handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .sum();
+            result = Some(r);
+        });
+        result.expect("scope completed")?;
+        d.finish(io)
+    }
+}
+
+/// One shard worker: multi-pass AnyActive walk over its block range
+/// (rotated by `start` so the seed varies the sample), producing
+/// accumulator batches. Returns the shard's I/O accounting.
+fn shard_worker(
+    job: &QueryJob<'_>,
+    mut reader: ShardedBlockReader<'_>,
+    shared: &SharedDemand,
+    tx: SyncSender<Msg>,
+    batch_blocks: usize,
+    start: usize,
+) -> IoStats {
+    let range = reader.blocks();
+    let lo = range.start;
+    let n_local = range.len();
+    if n_local == 0 {
+        let _ = tx.send(Msg::ShardExhausted);
+        return reader.stats();
+    }
+    let nc = job.num_candidates();
+    let ng = job.num_groups();
+    let mut visited = vec![false; n_local];
+    let mut visited_count = 0usize;
+    let mut marks = vec![false; MARK_WINDOW];
+
+    let mut acc = HistAccumulator::new(nc, ng);
+    let mut blocks: Vec<BlockTouch> = Vec::new();
+
+    // A pass walks the shard from its rotated start as two contiguous
+    // segments (local offsets), so window marking never wraps.
+    let start = start % n_local;
+    let segments = [(start, n_local - start), (0, start)];
+
+    'outer: loop {
+        let pass_epoch = shared.epoch();
+        let mut read_this_pass = false;
+        for &(seg_start, seg_len) in &segments {
+            let mut off = 0usize;
+            while off < seg_len {
+                let mode = shared.mode();
+                let win = MARK_WINDOW.min(seg_len - off);
+                let seg_off = seg_start + off;
+                match mode {
+                    DemandMode::Stop => break 'outer,
+                    DemandMode::ReadAll => marks[..win].fill(true),
+                    DemandMode::AnyActive => {
+                        marks[..win].fill(false);
+                        let active = shared.active_candidates();
+                        mark_lookahead(job.bitmap, &active, lo + seg_off, &mut marks[..win]);
+                    }
+                }
+                for (i, &marked) in marks[..win].iter().enumerate() {
+                    let li = seg_off + i;
+                    if visited[li] {
+                        continue;
+                    }
+                    let b = lo + li;
+                    if marked {
+                        visited[li] = true;
+                        visited_count += 1;
+                        read_this_pass = true;
+                        let (zs, xs) = reader.block_slices(b, job.z_attr, job.x_attr);
+                        acc.accumulate(zs, xs);
+                        let mut candidates = zs.to_vec();
+                        candidates.sort_unstable();
+                        candidates.dedup();
+                        blocks.push(BlockTouch {
+                            id: b as u32,
+                            candidates,
+                        });
+                        if blocks.len() >= batch_blocks {
+                            let msg = Msg::Batch {
+                                acc: std::mem::replace(&mut acc, HistAccumulator::new(nc, ng)),
+                                blocks: std::mem::take(&mut blocks),
+                            };
+                            if tx.send(msg).is_err() {
+                                break 'outer;
+                            }
+                        }
+                    } else {
+                        reader.skip_block(b);
+                    }
+                }
+                off += win;
+            }
+        }
+        // Flush the pass's partial batch so the statistics engine always
+        // sees completed passes promptly.
+        if !acc.is_empty() {
+            let msg = Msg::Batch {
+                acc: std::mem::replace(&mut acc, HistAccumulator::new(nc, ng)),
+                blocks: std::mem::take(&mut blocks),
+            };
+            if tx.send(msg).is_err() {
+                break;
+            }
+        }
+        if visited_count == n_local {
+            let _ = tx.send(Msg::ShardExhausted);
+            break;
+        }
+        if !read_this_pass {
+            // Nothing readable under the demand snapshot this pass saw:
+            // tell the statistics engine (its stuck-detection valve) and
+            // wait for a new epoch (or stop) instead of re-marking
+            // identical state.
+            if tx.send(Msg::IdlePass).is_err() {
+                break;
+            }
+            while shared.epoch() == pass_epoch && shared.mode() != DemandMode::Stop {
+                std::thread::sleep(Duration::from_micros(20));
+            }
+        }
+    }
+    reader.stats()
+}
+
+/// The statistics engine: merges worker batches into the state machine and
+/// republishes demand. I/O accounting lives in the per-shard readers and
+/// is aggregated by the caller after joining the workers.
+fn stats_loop(
+    d: &mut Driver,
+    shared: &SharedDemand,
+    rx: Receiver<Msg>,
+    shards: usize,
+) -> Result<()> {
+    let mut exhausted = 0usize;
+    // Stuck-detection valve (the parallel analogue of the sequential
+    // executors' idle-pass check): when every live worker reports an idle
+    // pass with no merge in between, demand should be impossible — a
+    // candidate needing samples implies an unread block in some shard.
+    // Re-publish to give workers a fresh epoch, and fail loudly rather
+    // than hang if that happens repeatedly.
+    let mut idle_workers = 0usize;
+    let mut stuck_rounds = 0u32;
+
+    // The initial phase may already be satisfied (degenerate configs).
+    d.advance_and_publish(shared)?;
+
+    while !d.hs.is_done() {
+        let msg = match rx.recv() {
+            Ok(m) => m,
+            // All workers exited; with demand still open this means the
+            // table has been fully consumed.
+            Err(_) => {
+                d.finish_exhausted()?;
+                break;
+            }
+        };
+        match msg {
+            Msg::Batch { acc, blocks } => {
+                idle_workers = 0;
+                stuck_rounds = 0;
+                d.merge_batch(acc, &blocks);
+                d.advance_and_publish(shared)?;
+            }
+            Msg::IdlePass => {
+                idle_workers += 1;
+                if idle_workers >= shards - exhausted {
+                    idle_workers = 0;
+                    stuck_rounds += 1;
+                    if stuck_rounds >= 16 {
+                        return Err(CoreError::PhaseViolation(
+                            "no readable blocks for outstanding demand".into(),
+                        ));
+                    }
+                    // Wake the parked workers for another look.
+                    d.advance_and_publish(shared)?;
+                }
+            }
+            Msg::ShardExhausted => {
+                exhausted += 1;
+                if exhausted == shards && !d.hs.is_done() {
+                    d.finish_exhausted()?;
+                }
+            }
+        }
+    }
+    shared.set_mode(DemandMode::Stop);
+    drop(rx); // unblock workers parked on a full channel
+
+    Ok(())
+}

@@ -32,8 +32,8 @@ impl Executor for ScanExec {
         let vx = job.num_groups();
         let mut counts = vec![0u64; vz * vx];
         let mut totals = vec![0u64; vz];
-        let mut reader = BlockReader::new(job.table, job.layout)
-        .with_simulated_latency(job.block_latency_ns);
+        let mut reader =
+            BlockReader::new(job.table, job.layout).with_simulated_latency(job.block_latency_ns);
         for b in 0..job.layout.num_blocks() {
             let (zs, xs) = reader.block_slices(b, job.z_attr, job.x_attr);
             for (&zc, &xc) in zs.iter().zip(xs) {

@@ -3,7 +3,7 @@
 //! The FastMatch system (paper §4): executors that drive the HistSim
 //! state machine over the block storage substrate.
 //!
-//! Four executors mirror the paper's §5.2 comparison lineup; each differs
+//! Five executors extend the paper's §5.2 comparison lineup; each differs
 //! from the next in exactly one mechanism, so comparing adjacent pairs
 //! isolates one design decision:
 //!
@@ -14,7 +14,12 @@
 //!   synchronously per block, Algorithm 2 style (adds *block skipping*);
 //! * [`exec::FastMatchExec`] — AnyActive with asynchronous, cache-conscious
 //!   lookahead on a separate sampling-engine thread, Algorithm 3 style
-//!   (adds *decoupled lookahead*).
+//!   (adds *decoupled lookahead*);
+//! * [`exec::ParallelMatchExec`] — shard-parallel ingestion: N workers
+//!   fill phase-free [`HistAccumulator`](fastmatch_core::histsim::HistAccumulator)
+//!   batches from disjoint block ranges, merged into the authoritative
+//!   state machine by the statistics thread (adds *multi-core
+//!   ingestion*).
 //!
 //! All approximate executors provide the same Guarantee 1/2 semantics; they
 //! differ only in how fast they reach HistSim's termination conditions.
@@ -29,6 +34,8 @@ pub mod query;
 pub mod result;
 pub mod shared;
 
-pub use exec::{Executor, FastMatchExec, ScanExec, ScanMatchExec, SyncMatchExec};
+pub use exec::{
+    Executor, FastMatchExec, ParallelMatchExec, ScanExec, ScanMatchExec, SyncMatchExec,
+};
 pub use query::QueryJob;
 pub use result::{MatchOutput, RunStats};

@@ -85,8 +85,8 @@ mod tests {
         let active = vec![1u32, 3, 6];
         let mut marks = vec![false; 8];
         mark_lookahead(&idx, &active, 0, &mut marks);
-        for b in 0..8 {
-            assert_eq!(marks[b], any_active_naive(&idx, &active, b), "block {b}");
+        for (b, &m) in marks.iter().enumerate() {
+            assert_eq!(m, any_active_naive(&idx, &active, b), "block {b}");
         }
     }
 

@@ -8,7 +8,9 @@ use fastmatch_core::histsim::HistSimConfig;
 use fastmatch_core::Metric;
 use fastmatch_data::gen::{conditional_with_planted, generate_table, ColumnGen, ColumnSpec};
 use fastmatch_data::shapes::uniform;
-use fastmatch_engine::exec::{Executor, FastMatchExec, ScanExec, ScanMatchExec, SyncMatchExec};
+use fastmatch_engine::exec::{
+    Executor, FastMatchExec, ParallelMatchExec, ScanExec, ScanMatchExec, SyncMatchExec,
+};
 use fastmatch_engine::query::QueryJob;
 use fastmatch_store::bitmap::BitmapIndex;
 use fastmatch_store::block::BlockLayout;
@@ -33,14 +35,7 @@ fn test_table(rows: usize, seed: u64) -> Table {
     );
     let specs = vec![
         ColumnSpec::new("z", 60, ColumnGen::PrimaryZipf { s: 1.2 }),
-        ColumnSpec::new(
-            "x",
-            8,
-            ColumnGen::Conditional {
-                parent: 0,
-                dists,
-            },
-        ),
+        ColumnSpec::new("x", 8, ColumnGen::Conditional { parent: 0, dists }),
     ];
     generate_table(&specs, rows, seed)
 }
@@ -71,11 +66,14 @@ fn run_all(rows: usize, seed: u64) -> Vec<(String, fastmatch_engine::result::Mat
         Box::new(ScanMatchExec),
         Box::new(SyncMatchExec),
         Box::new(FastMatchExec::with_lookahead(64)),
+        Box::new(ParallelMatchExec::with_shards(4)),
     ];
     execs
         .into_iter()
         .map(|e| {
-            let out = e.run(&job, seed.wrapping_add(1)).unwrap_or_else(|_| panic!("{}", e.name()));
+            let out = e
+                .run(&job, seed.wrapping_add(1))
+                .unwrap_or_else(|_| panic!("{}", e.name()));
             (e.name().to_string(), out)
         })
         .collect()
@@ -187,6 +185,7 @@ fn tiny_table_degenerates_to_exact() {
         Box::new(ScanMatchExec),
         Box::new(SyncMatchExec),
         Box::new(FastMatchExec::with_lookahead(16)),
+        Box::new(ParallelMatchExec::with_shards(4)),
     ];
     for e in execs {
         let out = e.run(&job, 77).unwrap_or_else(|_| panic!("{}", e.name()));
@@ -211,6 +210,49 @@ fn sigma_zero_disables_pruning() {
     let job = QueryJob::new(&table, layout, &bitmap, 0, 1, uniform(8), cfg);
     let out = ScanMatchExec.run(&job, 5).unwrap();
     assert_eq!(out.stats.pruned, 0);
+}
+
+#[test]
+fn parallel_match_agrees_with_sync_match() {
+    // On the planted fixture the correct candidate set is unambiguous (the
+    // five planted members sit far inside the ε-boundary), so the sharded
+    // executor must return exactly the set the synchronous one does —
+    // multi-core ingestion changes the schedule, not the answer.
+    for seed in [11u64, 23] {
+        let rows = 300_000;
+        let table = test_table(rows, seed);
+        let layout = BlockLayout::new(table.n_rows(), 64);
+        let bitmap = BitmapIndex::build(&table, 0, &layout);
+        let job = QueryJob::new(&table, layout, &bitmap, 0, 1, uniform(8), config());
+        let sync = SyncMatchExec.run(&job, seed).unwrap();
+        let par = ParallelMatchExec::with_shards(4).run(&job, seed).unwrap();
+        let mut sync_ids = sync.candidate_ids();
+        let mut par_ids = par.candidate_ids();
+        sync_ids.sort_unstable();
+        par_ids.sort_unstable();
+        assert_eq!(par_ids, sync_ids, "seed {seed}");
+    }
+}
+
+#[test]
+fn shard_count_does_not_change_correctness() {
+    let rows = 200_000;
+    let table = test_table(rows, 17);
+    let gt = ground_truth(&table);
+    let layout = BlockLayout::new(table.n_rows(), 64);
+    let bitmap = BitmapIndex::build(&table, 0, &layout);
+    for shards in [1usize, 2, 4, 8] {
+        let job = QueryJob::new(&table, layout, &bitmap, 0, 1, uniform(8), config());
+        let out = ParallelMatchExec::with_shards(shards).run(&job, 5).unwrap();
+        assert!(
+            gt.check_separation(&out.candidate_ids(), config().epsilon, config().sigma),
+            "{shards} shards: separation"
+        );
+        assert!(
+            gt.check_reconstruction(&out.output.matches, config().epsilon),
+            "{shards} shards: reconstruction"
+        );
+    }
 }
 
 #[test]

@@ -166,8 +166,8 @@ mod tests {
         for v in 0..3u32 {
             let mut marks = vec![false; 4];
             idx.mark_active_range(v, 0, &mut marks);
-            for b in 0..4 {
-                assert_eq!(marks[b], idx.block_has(v, b), "v={v} b={b}");
+            for (b, &m) in marks.iter().enumerate() {
+                assert_eq!(m, idx.block_has(v, b), "v={v} b={b}");
             }
         }
     }
@@ -207,15 +207,17 @@ mod tests {
         // 1000 rows, 1-row blocks ⇒ 1000 blocks > 64: exercises multi-word
         // rows and the skip-zero-word fast path.
         let n = 1000usize;
-        let col: Vec<u32> = (0..n as u32).map(|r| if r % 97 == 0 { 1 } else { 0 }).collect();
+        let col: Vec<u32> = (0..n as u32)
+            .map(|r| if r % 97 == 0 { 1 } else { 0 })
+            .collect();
         let schema = Schema::new(vec![AttrDef::new("z", 2)]);
         let t = Table::new(schema, vec![col]);
         let l = BlockLayout::new(n, 1);
         let idx = BitmapIndex::build(&t, 0, &l);
         let mut marks = vec![false; n];
         idx.mark_active_range(1, 0, &mut marks);
-        for b in 0..n {
-            assert_eq!(marks[b], b % 97 == 0, "b = {b}");
+        for (b, &m) in marks.iter().enumerate() {
+            assert_eq!(m, b % 97 == 0, "b = {b}");
             assert_eq!(idx.block_has(1, b), b % 97 == 0);
         }
     }

@@ -110,10 +110,7 @@ mod tests {
         let a0: Vec<u32> = (0..20).map(|r| r / 10).collect();
         let a1: Vec<u32> = (0..20).map(|r| r % 2).collect();
         let schema = Schema::new(vec![AttrDef::new("a", 2), AttrDef::new("b", 2)]);
-        (
-            Table::new(schema, vec![a0, a1]),
-            BlockLayout::new(20, 5),
-        )
+        (Table::new(schema, vec![a0, a1]), BlockLayout::new(20, 5))
     }
 
     #[test]
@@ -192,10 +189,7 @@ mod tests {
         ];
         for p in &preds {
             for b in 0..l.num_blocks() {
-                let truth = l
-                    .rows_of_block(b)
-                    .filter(|&r| p.matches_row(&t, r))
-                    .count() as u32;
+                let truth = l.rows_of_block(b).filter(|&r| p.matches_row(&t, r)).count() as u32;
                 let est = estimate_block_count(p, &[&d0, &d1], &l, b);
                 assert!(est >= truth, "pred {p:?} block {b}: {est} < {truth}");
             }

@@ -17,7 +17,9 @@
 //!   [`binning::Binner`]);
 //! * a block reader that accounts blocks read/skipped and tuples touched,
 //!   with an optional simulated per-block latency so storage-media cost
-//!   models can be explored ([`io::BlockReader`]).
+//!   models can be explored ([`io::BlockReader`]), and shardable into
+//!   disjoint block-range views with per-shard, aggregatable statistics
+//!   for multi-core executors ([`io::ShardedBlockReader`]).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -36,7 +38,7 @@ pub use binning::Binner;
 pub use bitmap::BitmapIndex;
 pub use block::BlockLayout;
 pub use density::DensityMap;
-pub use io::{BlockReader, IoStats};
+pub use io::{BlockReader, IoStats, ShardedBlockReader};
 pub use predicate::Predicate;
 pub use schema::{AttrDef, Schema};
 pub use table::Table;

@@ -51,9 +51,7 @@ impl Predicate {
                 .find(|(a, _)| a == attr)
                 .map(|(_, idx)| idx.block_has(*value, block))
                 .unwrap_or(true),
-            Predicate::And(parts) => parts
-                .iter()
-                .all(|p| p.may_match_block(indexes, block)),
+            Predicate::And(parts) => parts.iter().all(|p| p.may_match_block(indexes, block)),
             Predicate::Or(parts) => {
                 parts.is_empty() || parts.iter().any(|p| p.may_match_block(indexes, block))
             }

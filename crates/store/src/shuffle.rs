@@ -44,10 +44,8 @@ mod tests {
     use crate::schema::AttrDef;
 
     fn seq_table(n: usize) -> Table {
-        let schema = crate::schema::Schema::new(vec![
-            AttrDef::new("a", n as u32),
-            AttrDef::new("b", 2),
-        ]);
+        let schema =
+            crate::schema::Schema::new(vec![AttrDef::new("a", n as u32), AttrDef::new("b", 2)]);
         Table::new(
             schema,
             vec![

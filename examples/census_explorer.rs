@@ -49,14 +49,15 @@ fn main() {
         11,
     );
     let specs = vec![
-        ColumnSpec::new("country", COUNTRIES as u32, ColumnGen::PrimaryZipf { s: 1.0 }),
+        ColumnSpec::new(
+            "country",
+            COUNTRIES as u32,
+            ColumnGen::PrimaryZipf { s: 1.0 },
+        ),
         ColumnSpec::new(
             "income_bracket",
             BRACKETS as u32,
-            ColumnGen::Conditional {
-                parent: 0,
-                dists,
-            },
+            ColumnGen::Conditional { parent: 0, dists },
         ),
     ];
     let table = generate_table(&specs, 2_000_000, 3);
@@ -92,7 +93,9 @@ fn main() {
 
     // Sampled answer.
     let job = QueryJob::new(&table, layout, &bitmap, 0, 1, target.clone(), cfg.clone());
-    let fast = FastMatchExec::default().run(&job, 99).expect("fastmatch failed");
+    let fast = FastMatchExec::default()
+        .run(&job, 99)
+        .expect("fastmatch failed");
     println!(
         "fastmatch top-4 ({:.1} ms, {:.1}% of blocks read): {:?}",
         fast.stats.wall.as_secs_f64() * 1e3,
@@ -108,7 +111,11 @@ fn main() {
 
     // Validate the guarantees against ground truth.
     let truth = GroundTruth::from_tuples(
-        table.column(0).iter().zip(table.column(1)).map(|(&z, &x)| (z, x)),
+        table
+            .column(0)
+            .iter()
+            .zip(table.column(1))
+            .map(|(&z, &x)| (z, x)),
         COUNTRIES,
         BRACKETS,
         target,

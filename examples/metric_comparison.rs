@@ -14,7 +14,11 @@ fn main() {
     let small = Histogram::from_counts(vec![400, 800, 1_200, 600, 200]);
     let p_big = big.normalized().unwrap();
     let p_small = small.normalized().unwrap();
-    println!("pre-normalization count difference: huge (totals {} vs {})", big.total(), small.total());
+    println!(
+        "pre-normalization count difference: huge (totals {} vs {})",
+        big.total(),
+        small.total()
+    );
     println!(
         "post-normalization l1 distance: {:.6}\n",
         Metric::L1.eval(&p_big, &p_small)
@@ -30,8 +34,14 @@ fn main() {
         q[n + i] = 1.0 / n as f64;
     }
     println!("two distributions with fully disjoint support over 200 bins:");
-    println!("  l1 = {:.4} (maximal — they share nothing)", Metric::L1.eval(&p, &q));
-    println!("  l2 = {:.4} (looks deceptively close)\n", Metric::L2.eval(&p, &q));
+    println!(
+        "  l1 = {:.4} (maximal — they share nothing)",
+        Metric::L1.eval(&p, &q)
+    );
+    println!(
+        "  l2 = {:.4} (looks deceptively close)\n",
+        Metric::L2.eval(&p, &q)
+    );
 
     // --- Why not KL: a single empty bin in the candidate makes KL infinite
     //     even when the histograms are visually near-identical.
@@ -39,7 +49,10 @@ fn main() {
     let candidate = [0.32, 0.26, 0.21, 0.21, 0.0]; // visually close, one empty bin
     println!("near-identical histograms, one empty bin in the candidate:");
     println!("  l1 = {:.4}", Metric::L1.eval(&target, &candidate));
-    println!("  KL(target ‖ candidate) = {:?}\n", Metric::KlDivergence.eval(&target, &candidate));
+    println!(
+        "  KL(target ‖ candidate) = {:?}\n",
+        Metric::KlDivergence.eval(&target, &candidate)
+    );
 
     // --- l1 corresponds to total variation distance (×2).
     let a = [0.7, 0.2, 0.1];

@@ -29,10 +29,7 @@ fn main() {
         ColumnSpec::new(
             "x",
             groups as u32,
-            ColumnGen::Conditional {
-                parent: 0,
-                dists,
-            },
+            ColumnGen::Conditional { parent: 0, dists },
         ),
     ];
     let table = generate_table(&specs, 400_000, 1);

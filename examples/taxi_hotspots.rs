@@ -36,7 +36,9 @@ fn main() {
         ..HistSimConfig::default()
     };
     let job = QueryJob::new(&table, layout, &bitmap, z, x, target, cfg);
-    let out = FastMatchExec::default().run(&job, 17).expect("query failed");
+    let out = FastMatchExec::default()
+        .run(&job, 17)
+        .expect("query failed");
 
     println!(
         "\npruned {} of 7641 pickup cells as too rare (σ = 0.0008)",

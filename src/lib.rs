@@ -13,7 +13,7 @@
 //! * [`data`] (`fastmatch-data`) — synthetic evaluation datasets and the
 //!   Table 3 query workload;
 //! * [`engine`] (`fastmatch-engine`) — the `Scan` / `ScanMatch` /
-//!   `SyncMatch` / `FastMatch` executors.
+//!   `SyncMatch` / `FastMatch` / `ParallelMatch` executors.
 //!
 //! ## Quickstart
 //!
@@ -57,7 +57,7 @@ pub mod prelude {
     pub use fastmatch_core::sampler::{tuples_from_histograms, MemorySampler, Sample};
     pub use fastmatch_core::{guarantees::GroundTruth, Histogram, Metric};
     pub use fastmatch_engine::exec::{
-        Executor, FastMatchExec, ScanExec, ScanMatchExec, SyncMatchExec,
+        Executor, FastMatchExec, ParallelMatchExec, ScanExec, ScanMatchExec, SyncMatchExec,
     };
     pub use fastmatch_engine::query::QueryJob;
     pub use fastmatch_engine::result::MatchOutput;

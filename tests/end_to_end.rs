@@ -18,14 +18,7 @@ fn planted_table(rows: usize, seed: u64) -> fastmatch_store::Table {
     );
     let specs = vec![
         ColumnSpec::new("z", 50, ColumnGen::PrimaryZipf { s: 1.0 }),
-        ColumnSpec::new(
-            "x",
-            6,
-            ColumnGen::Conditional {
-                parent: 0,
-                dists,
-            },
-        ),
+        ColumnSpec::new("x", 6, ColumnGen::Conditional { parent: 0, dists }),
     ];
     generate_table(&specs, rows, seed)
 }
@@ -66,6 +59,7 @@ fn full_pipeline_all_executors() {
         Box::new(ScanMatchExec),
         Box::new(SyncMatchExec),
         Box::new(FastMatchExec::default()),
+        Box::new(ParallelMatchExec::default()),
     ];
     for e in execs {
         let job = QueryJob::new(&table, layout, &bitmap, 0, 1, uniform(6), cfg());
@@ -144,12 +138,18 @@ fn paper_workload_smoke() {
             ..HistSimConfig::default()
         };
         let job = QueryJob::new(table, layout, &bitmap, z, x, target.clone(), cfg.clone());
-        let out = ScanMatchExec.run(&job, 3).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        let out = ScanMatchExec
+            .run(&job, 3)
+            .unwrap_or_else(|e| panic!("{}: {e}", q.id));
         assert_eq!(out.candidate_ids().len(), q.k, "{}", q.id);
 
         let vx = table.cardinality(x) as usize;
         let truth = GroundTruth::from_tuples(
-            table.column(z).iter().zip(table.column(x)).map(|(&a, &b)| (a, b)),
+            table
+                .column(z)
+                .iter()
+                .zip(table.column(x))
+                .map(|(&a, &b)| (a, b)),
             table.cardinality(z) as usize,
             vx,
             target,
@@ -179,7 +179,12 @@ fn block_latency_slows_scan_proportionally() {
     let fast = ScanExec.run(&fast_job, 0).unwrap();
     let slow = ScanExec.run(&slow_job, 0).unwrap();
     let floor = std::time::Duration::from_nanos(20_000 * layout.num_blocks() as u64);
-    assert!(slow.stats.wall >= floor, "{:?} < {:?}", slow.stats.wall, floor);
+    assert!(
+        slow.stats.wall >= floor,
+        "{:?} < {:?}",
+        slow.stats.wall,
+        floor
+    );
     assert!(slow.stats.wall > fast.stats.wall);
 }
 
