@@ -19,6 +19,10 @@ pub enum CoreError {
     /// An operation was invoked in a phase where it is not legal
     /// (e.g. ingesting samples after the algorithm finished).
     PhaseViolation(String),
+    /// The driver's storage layer failed (I/O error, corrupt block).
+    /// Core itself never produces this; executors map their storage
+    /// backend's errors into it so one error type spans a whole run.
+    Storage(String),
 }
 
 impl fmt::Display for CoreError {
@@ -31,6 +35,7 @@ impl fmt::Display for CoreError {
                 "sample out of domain: candidate {candidate}, group {group}"
             ),
             CoreError::PhaseViolation(msg) => write!(f, "phase violation: {msg}"),
+            CoreError::Storage(msg) => write!(f, "storage failure: {msg}"),
         }
     }
 }
@@ -58,6 +63,8 @@ mod tests {
         assert!(e.to_string().contains("empty"));
         let e = CoreError::PhaseViolation("done".into());
         assert!(e.to_string().contains("done"));
+        let e = CoreError::Storage("corrupt page".into());
+        assert!(e.to_string().contains("corrupt page"));
     }
 
     #[test]

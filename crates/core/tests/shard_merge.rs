@@ -165,4 +165,118 @@ proptest! {
             prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
         }
     }
+
+    /// Merge-after-transition: a stale accumulator — filled by a shard
+    /// worker under the *previous* phase's demand but merged only after
+    /// the phase transition — must never resurrect a pruned candidate
+    /// (neither its counts nor its demand) and must never *increase* any
+    /// candidate's outstanding demand.
+    #[test]
+    fn stale_batch_after_transition_cannot_resurrect_pruned_candidates(
+        picks in prop::collection::vec((0u32..1000, 0u32..1000), 10..80),
+        nc in 3usize..10,
+        ng in 2usize..5,
+        rare_hits in 0u32..2,
+    ) {
+        // Stage-1 stream: candidate `rare` (= nc - 1) appears at most
+        // once in 400 tuples while every other candidate appears often
+        // (≥ 400/9 ≈ 44 times); under the null Nᵢ ≥ ⌈σN⌉ (expected count
+        // σ·400 = 20) the hypergeometric test prunes exactly the rare
+        // one.
+        let rare = (nc - 1) as u32;
+        let stage1: Vec<(u32, u32)> = (0..400u32)
+            .map(|i| {
+                if i == 0 && rare_hits > 0 {
+                    (rare, 0)
+                } else {
+                    (i % (nc as u32 - 1), i % ng as u32)
+                }
+            })
+            .collect();
+        let config = HistSimConfig {
+            k: 1,
+            epsilon: 0.2,
+            delta: 0.05,
+            sigma: 0.05,
+            stage1_samples: 400,
+            ..HistSimConfig::default()
+        };
+        let mut hs = HistSim::new(config, nc, ng, 1_000_000, &vec![1.0 / ng as f64; ng]).unwrap();
+
+        // A shard worker accumulates a batch during stage 1…
+        let stale = {
+            let mut acc = HistAccumulator::new(nc, ng);
+            for &(a, b) in &picks {
+                acc.accumulate_one(a % nc as u32, b % ng as u32);
+            }
+            // …always containing tuples of the soon-to-be-pruned rare
+            // candidate.
+            acc.accumulate_one(rare, 0);
+            acc
+        };
+
+        // Meanwhile the statistics engine completes stage 1 from other
+        // shards' data and transitions.
+        let (zs, xs): (Vec<u32>, Vec<u32>) = stage1.into_iter().unzip();
+        hs.ingest_block(&zs, &xs);
+        hs.complete_io_phase(false).unwrap();
+        prop_assume!(!hs.is_done());
+        prop_assert!(hs.is_pruned(rare), "rare candidate must be pruned by stage 1");
+
+        let samples_before = hs.samples_for(rare);
+        let remaining_before: Vec<u64> = hs.remaining_slice().to_vec();
+
+        // The stale batch lands after the transition.
+        hs.merge(stale);
+
+        // The pruned candidate stays dead: no counts, no demand.
+        prop_assert_eq!(hs.samples_for(rare), samples_before,
+            "stale merge resurrected a pruned candidate's counts");
+        prop_assert!(hs.is_pruned(rare));
+        prop_assert_eq!(hs.remaining_slice()[rare as usize], 0u64);
+        // Demand decrements saturate: no candidate's outstanding count
+        // may grow from a merge, stale or not.
+        for (c, (&after, &before)) in hs
+            .remaining_slice()
+            .iter()
+            .zip(&remaining_before)
+            .enumerate()
+        {
+            prop_assert!(after <= before,
+                "candidate {c}: stale merge raised demand {before} -> {after}");
+        }
+
+        // The run still terminates cleanly after the stale merge, and the
+        // pruned candidate never reappears in the output.
+        let mut guard = 0;
+        while !hs.is_done() {
+            if hs.io_satisfied() {
+                hs.complete_io_phase(false).unwrap();
+            } else {
+                let need: Vec<u32> = hs
+                    .remaining_slice()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &r)| r > 0)
+                    .map(|(c, _)| c as u32)
+                    .collect();
+                let mut acc = HistAccumulator::new(nc, ng);
+                for &c in &need {
+                    for g in 0..ng as u32 {
+                        for _ in 0..((hs.remaining_slice()[c as usize] / ng as u64) + 1) {
+                            acc.accumulate_one(c, g);
+                        }
+                    }
+                }
+                hs.merge(acc);
+            }
+            guard += 1;
+            prop_assert!(guard < 10_000, "run failed to terminate");
+        }
+        let out = hs.output().unwrap();
+        prop_assert!(
+            !out.candidate_ids().contains(&rare),
+            "pruned candidate resurfaced in the matched set"
+        );
+    }
 }

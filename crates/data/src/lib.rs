@@ -20,9 +20,11 @@
 
 pub mod datasets;
 pub mod gen;
+pub mod persist;
 pub mod queries;
 pub mod shapes;
 pub mod zipf;
 
 pub use datasets::{flights, police, taxi, DatasetId};
+pub use persist::{load, persist_shuffled};
 pub use queries::{all_queries, QuerySpec, TargetSpec};

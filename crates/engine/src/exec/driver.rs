@@ -50,7 +50,7 @@ impl Driver {
             job.cfg.clone(),
             job.num_candidates(),
             job.num_groups(),
-            job.table.n_rows() as u64,
+            job.n_rows() as u64,
             &job.target,
         )?;
         let tracker = ConsumptionTracker::new(job.bitmap);
@@ -92,16 +92,17 @@ impl Driver {
     }
 
     /// [`Self::advance`], then publishes the resulting demand snapshot for
-    /// sampling-engine / shard-worker threads.
+    /// sampling-engine / shard-worker threads — as one atomic publication
+    /// (single epoch bump), so a woken reader never sees a fresh mode
+    /// with stale demand or vice versa.
     pub fn advance_and_publish(&mut self, shared: &SharedDemand) -> Result<()> {
         self.advance()?;
         match self.hs.phase() {
-            PhaseKind::Stage1 => shared.set_mode(DemandMode::ReadAll),
+            PhaseKind::Stage1 => shared.publish(DemandMode::ReadAll, None),
             PhaseKind::Stage2 | PhaseKind::Stage3 => {
-                shared.publish_remaining(self.hs.remaining_slice());
-                shared.set_mode(DemandMode::AnyActive);
+                shared.publish(DemandMode::AnyActive, Some(self.hs.remaining_slice()));
             }
-            PhaseKind::Done => shared.set_mode(DemandMode::Stop),
+            PhaseKind::Done => shared.publish(DemandMode::Stop, None),
         }
         Ok(())
     }

@@ -24,10 +24,10 @@ use std::time::Duration;
 
 use fastmatch_core::error::{CoreError, Result};
 use fastmatch_store::bitmap::BitmapIndex;
-use fastmatch_store::io::{BlockReader, IoStats};
+use fastmatch_store::io::IoStats;
 
 use crate::exec::driver::Driver;
-use crate::exec::{start_block, Executor};
+use crate::exec::{start_block, storage_err, Executor};
 use crate::policy::mark_lookahead;
 use crate::query::QueryJob;
 use crate::result::MatchOutput;
@@ -219,8 +219,7 @@ fn io_and_stats_loop(
     shared: &SharedDemand,
     rx: Receiver<Msg>,
 ) -> Result<IoStats> {
-    let mut reader =
-        BlockReader::new(job.table, job.layout).with_simulated_latency(job.block_latency_ns);
+    let mut reader = job.reader();
     let mut reads_since_publish = 0u64;
     let mut had_read_since_pass_end = true;
     let mut idle_passes = 0u32;
@@ -246,7 +245,9 @@ fn io_and_stats_loop(
                         if d.hs.is_done() {
                             break;
                         }
-                        let (zs, xs) = reader.block_slices(b as usize, job.z_attr, job.x_attr);
+                        let (zs, xs) = reader
+                            .try_block_slices(b as usize, job.z_attr, job.x_attr)
+                            .map_err(storage_err)?;
                         d.ingest_block(b as usize, zs, xs);
                         reads_since_publish += 1;
                         if d.hs.io_satisfied() || reads_since_publish >= PUBLISH_EVERY {

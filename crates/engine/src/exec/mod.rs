@@ -28,11 +28,16 @@ use rand::{Rng, SeedableRng};
 
 use fastmatch_core::error::{CoreError, Result};
 use fastmatch_core::histsim::PhaseKind;
-use fastmatch_store::io::BlockReader;
+use fastmatch_store::error::StoreError;
 
 use crate::exec::driver::Driver;
 use crate::query::QueryJob;
 use crate::result::MatchOutput;
+
+/// Maps a storage-layer failure into the engine's error domain.
+pub(crate) fn storage_err(e: StoreError) -> CoreError {
+    CoreError::Storage(e.to_string())
+}
 
 /// A query executor: runs one top-k histogram-matching query to
 /// completion. `seed` controls the random scan start position (each run of
@@ -72,8 +77,7 @@ pub(crate) fn run_sequential(
     policy: BlockPolicy,
 ) -> Result<MatchOutput> {
     let mut d = Driver::new(job)?;
-    let mut reader =
-        BlockReader::new(job.table, job.layout).with_simulated_latency(job.block_latency_ns);
+    let mut reader = job.reader();
 
     let nb = job.layout.num_blocks();
     let start = start_block(nb, seed);
@@ -107,7 +111,9 @@ pub(crate) fn run_sequential(
                 PhaseKind::Done => break 'outer,
             };
             if do_read {
-                let (zs, xs) = reader.block_slices(b, job.z_attr, job.x_attr);
+                let (zs, xs) = reader
+                    .try_block_slices(b, job.z_attr, job.x_attr)
+                    .map_err(storage_err)?;
                 d.ingest_block(b, zs, xs);
                 read[b] = true;
                 blocks_read_total += 1;

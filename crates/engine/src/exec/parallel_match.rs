@@ -32,7 +32,7 @@ use std::time::Duration;
 
 use fastmatch_core::error::{CoreError, Result};
 use fastmatch_core::histsim::HistAccumulator;
-use fastmatch_store::io::{BlockReader, IoStats, ShardedBlockReader};
+use fastmatch_store::io::{IoStats, ShardedBlockReader};
 
 use crate::exec::driver::{BlockTouch, Driver};
 use crate::exec::Executor;
@@ -99,7 +99,10 @@ impl ParallelMatchExec {
     }
 }
 
-/// One message from a shard worker to the statistics engine.
+/// One message from a shard worker to the statistics engine. Idle and
+/// exit messages carry the worker's index so the statistics engine can
+/// track exactly which workers are parked versus gone — counting
+/// anonymous messages is not enough (see `stats_loop`).
 enum Msg {
     /// A batch of accumulated deltas plus the per-block distinct-candidate
     /// lists (for consumption tracking).
@@ -109,11 +112,15 @@ enum Msg {
         /// Distinct candidates per read block, in read order.
         blocks: Vec<BlockTouch>,
     },
-    /// The worker finished a full pass over its shard without reading a
+    /// Worker `.0` finished a full pass over its shard without reading a
     /// single block and is parking until demand changes.
-    IdlePass,
-    /// The worker's shard is fully consumed; it has exited.
-    ShardExhausted,
+    IdlePass(usize),
+    /// Worker `.0`'s shard is fully consumed (or was empty); it has
+    /// exited.
+    ShardExhausted(usize),
+    /// A worker hit a storage failure (I/O error, corrupt page) and has
+    /// exited; the run must fail with this error.
+    Failed(CoreError),
 }
 
 impl Executor for ParallelMatchExec {
@@ -124,6 +131,10 @@ impl Executor for ParallelMatchExec {
     fn run(&self, job: &QueryJob<'_>, seed: u64) -> Result<MatchOutput> {
         let mut d = Driver::new(job)?;
         let nb = job.layout.num_blocks();
+        // Never spawn more workers than blocks: the extra shards would be
+        // empty. (An empty shard is still handled gracefully by
+        // `shard_worker` — it reports exhaustion and exits immediately —
+        // but correctness should not depend on this clamp alone.)
         let shards = self.shards.min(nb).max(1);
         let batch_blocks = self.batch_blocks;
 
@@ -133,8 +144,7 @@ impl Executor for ParallelMatchExec {
         // Bounded to 2 in-flight batches per worker: backpressure keeps
         // workers from racing arbitrarily far ahead of the merge.
         let (tx, rx) = sync_channel::<Msg>(2 * shards);
-        let reader =
-            BlockReader::new(job.table, job.layout).with_simulated_latency(job.block_latency_ns);
+        let reader = job.reader();
 
         let mut result: Option<Result<()>> = None;
         let mut io = IoStats::default();
@@ -152,7 +162,7 @@ impl Executor for ParallelMatchExec {
                     let tx = tx.clone();
                     let shared = Arc::clone(&shared);
                     scope.spawn(move || {
-                        shard_worker(job, shard_reader, &shared, tx, batch_blocks, start)
+                        shard_worker(job, w, shard_reader, &shared, tx, batch_blocks, start)
                     })
                 })
                 .collect();
@@ -176,8 +186,14 @@ impl Executor for ParallelMatchExec {
 /// One shard worker: multi-pass AnyActive walk over its block range
 /// (rotated by `start` so the seed varies the sample), producing
 /// accumulator batches. Returns the shard's I/O accounting.
+///
+/// An **empty** shard (possible when a caller shards a reader more ways
+/// than there are blocks) reports exhaustion and exits immediately — it
+/// must never park waiting for an epoch, because with nothing to read no
+/// demand change could ever release it.
 fn shard_worker(
     job: &QueryJob<'_>,
+    w: usize,
     mut reader: ShardedBlockReader<'_>,
     shared: &SharedDemand,
     tx: SyncSender<Msg>,
@@ -188,7 +204,7 @@ fn shard_worker(
     let lo = range.start;
     let n_local = range.len();
     if n_local == 0 {
-        let _ = tx.send(Msg::ShardExhausted);
+        let _ = tx.send(Msg::ShardExhausted(w));
         return reader.stats();
     }
     let nc = job.num_candidates();
@@ -233,7 +249,17 @@ fn shard_worker(
                         visited[li] = true;
                         visited_count += 1;
                         read_this_pass = true;
-                        let (zs, xs) = reader.block_slices(b, job.z_attr, job.x_attr);
+                        // A storage failure (I/O error, corrupt page) ends
+                        // the worker and fails the whole run through the
+                        // statistics engine — same error contract as the
+                        // sequential executors, no panic.
+                        let (zs, xs) = match reader.try_block_slices(b, job.z_attr, job.x_attr) {
+                            Ok(pair) => pair,
+                            Err(e) => {
+                                let _ = tx.send(Msg::Failed(crate::exec::storage_err(e)));
+                                break 'outer;
+                            }
+                        };
                         acc.accumulate(zs, xs);
                         let mut candidates = zs.to_vec();
                         candidates.sort_unstable();
@@ -270,7 +296,7 @@ fn shard_worker(
             }
         }
         if visited_count == n_local {
-            let _ = tx.send(Msg::ShardExhausted);
+            let _ = tx.send(Msg::ShardExhausted(w));
             break;
         }
         if !read_this_pass {
@@ -278,7 +304,7 @@ fn shard_worker(
             // tell the statistics engine (its stuck-detection valve) and
             // wait for a new epoch (or stop) instead of re-marking
             // identical state.
-            if tx.send(Msg::IdlePass).is_err() {
+            if tx.send(Msg::IdlePass(w)).is_err() {
                 break;
             }
             while shared.epoch() == pass_epoch && shared.mode() != DemandMode::Stop {
@@ -298,14 +324,23 @@ fn stats_loop(
     rx: Receiver<Msg>,
     shards: usize,
 ) -> Result<()> {
-    let mut exhausted = 0usize;
+    // Per-worker liveness: which workers have exited (shard consumed or
+    // empty) and which are currently parked after an idle pass. Both are
+    // tracked by worker id — an anonymous tally would go stale the moment
+    // a worker exits, which is exactly how the old accounting could
+    // deadlock: with the last live workers already parked, a late
+    // `ShardExhausted` shrank the live count without re-running the
+    // all-parked check, so nobody ever bumped the epoch again.
+    let mut exhausted = vec![false; shards];
+    let mut idle = vec![false; shards];
     // Stuck-detection valve (the parallel analogue of the sequential
-    // executors' idle-pass check): when every live worker reports an idle
-    // pass with no merge in between, demand should be impossible — a
-    // candidate needing samples implies an unread block in some shard.
-    // Re-publish to give workers a fresh epoch, and fail loudly rather
-    // than hang if that happens repeatedly.
-    let mut idle_workers = 0usize;
+    // executors' idle-pass check): when every live worker is parked with
+    // no merge in between, demand should be impossible — a candidate
+    // needing samples implies an unread block in some shard. Re-publish
+    // to give workers a fresh epoch, and fail loudly rather than hang if
+    // that happens repeatedly. The valve only errors; it must never
+    // silently degrade the run (e.g. by forcing an exact finish the data
+    // does not justify).
     let mut stuck_rounds = 0u32;
 
     // The initial phase may already be satisfied (degenerate configs).
@@ -314,44 +349,129 @@ fn stats_loop(
     while !d.hs.is_done() {
         let msg = match rx.recv() {
             Ok(m) => m,
-            // All workers exited; with demand still open this means the
-            // table has been fully consumed.
             Err(_) => {
-                d.finish_exhausted()?;
-                break;
+                // All workers exited. Only a full set of exhaustion
+                // reports makes finishing exact sound; anything else is a
+                // protocol bug that must not masquerade as completion.
+                if exhausted.iter().all(|&e| e) {
+                    d.finish_exhausted()?;
+                    break;
+                }
+                return Err(CoreError::PhaseViolation(
+                    "shard workers exited with open demand and unconsumed blocks".into(),
+                ));
             }
         };
         match msg {
             Msg::Batch { acc, blocks } => {
-                idle_workers = 0;
+                // The merge below republishes (bumping the epoch), which
+                // wakes every parked worker for a fresh pass.
+                idle.iter_mut().for_each(|f| *f = false);
                 stuck_rounds = 0;
                 d.merge_batch(acc, &blocks);
                 d.advance_and_publish(shared)?;
             }
-            Msg::IdlePass => {
-                idle_workers += 1;
-                if idle_workers >= shards - exhausted {
-                    idle_workers = 0;
-                    stuck_rounds += 1;
-                    if stuck_rounds >= 16 {
-                        return Err(CoreError::PhaseViolation(
-                            "no readable blocks for outstanding demand".into(),
-                        ));
+            Msg::IdlePass(w) => {
+                idle[w] = true;
+                wake_if_all_parked(d, shared, &mut idle, &exhausted, &mut stuck_rounds)?;
+            }
+            Msg::ShardExhausted(w) => {
+                exhausted[w] = true;
+                idle[w] = false;
+                if exhausted.iter().all(|&e| e) {
+                    if !d.hs.is_done() {
+                        d.finish_exhausted()?;
                     }
-                    // Wake the parked workers for another look.
-                    d.advance_and_publish(shared)?;
+                } else {
+                    // The live set shrank: the remaining workers may all
+                    // be parked already, so the all-parked check must be
+                    // re-evaluated here too.
+                    wake_if_all_parked(d, shared, &mut idle, &exhausted, &mut stuck_rounds)?;
                 }
             }
-            Msg::ShardExhausted => {
-                exhausted += 1;
-                if exhausted == shards && !d.hs.is_done() {
-                    d.finish_exhausted()?;
-                }
-            }
+            // A storage failure in any shard fails the run with that
+            // error; the caller's cleanup (Stop + receiver drop) unwinds
+            // the surviving workers.
+            Msg::Failed(e) => return Err(e),
         }
     }
     shared.set_mode(DemandMode::Stop);
     drop(rx); // unblock workers parked on a full channel
 
     Ok(())
+}
+
+/// If every still-live worker is parked after an idle pass, republish the
+/// demand snapshot (bumping the epoch wakes them all) and count a stuck
+/// round; after too many consecutive stuck rounds, fail loudly.
+fn wake_if_all_parked(
+    d: &mut Driver,
+    shared: &SharedDemand,
+    idle: &mut [bool],
+    exhausted: &[bool],
+    stuck_rounds: &mut u32,
+) -> Result<()> {
+    let live = exhausted.iter().filter(|&&e| !e).count();
+    let parked = idle.iter().filter(|&&i| i).count();
+    if live == 0 || parked < live {
+        return Ok(());
+    }
+    idle.iter_mut().for_each(|f| *f = false);
+    *stuck_rounds += 1;
+    if *stuck_rounds >= 16 {
+        return Err(CoreError::PhaseViolation(
+            "no readable blocks for outstanding demand".into(),
+        ));
+    }
+    d.advance_and_publish(shared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmatch_core::histsim::HistSimConfig;
+    use fastmatch_store::bitmap::BitmapIndex;
+    use fastmatch_store::block::BlockLayout;
+    use fastmatch_store::schema::{AttrDef, Schema};
+    use fastmatch_store::table::Table;
+
+    /// An empty shard (shard count > block count, below the executor's
+    /// clamp) must make the worker report exhaustion and return at once —
+    /// never park on an epoch that cannot change for it.
+    #[test]
+    fn empty_shard_worker_reports_exhaustion_and_exits() {
+        let schema = Schema::new(vec![AttrDef::new("z", 2), AttrDef::new("x", 2)]);
+        let table = Table::new(schema, vec![vec![0, 1, 0, 1, 0, 1], vec![0, 0, 1, 1, 0, 1]]);
+        let layout = BlockLayout::new(6, 3); // 2 blocks
+        let bitmap = BitmapIndex::build(&table, 0, &layout);
+        let job = QueryJob::new(
+            &table,
+            layout,
+            &bitmap,
+            0,
+            1,
+            vec![0.5, 0.5],
+            HistSimConfig::default(),
+        );
+        let shared = SharedDemand::new(job.num_candidates());
+        let (tx, rx) = sync_channel::<Msg>(4);
+        let reader = job.reader().shard(3, 4); // of 2 blocks: empty
+        assert_eq!(reader.num_blocks(), 0);
+        // Never publish any demand: a parking worker would hang forever,
+        // so returning at all proves the early exit.
+        let stats = shard_worker(&job, 3, reader, &shared, tx, 8, 0);
+        assert_eq!(stats, IoStats::default());
+        match rx.try_recv() {
+            Ok(Msg::ShardExhausted(3)) => {}
+            other => panic!(
+                "expected ShardExhausted(3), got {:?}",
+                other.map(|m| match m {
+                    Msg::Batch { .. } => "Batch",
+                    Msg::IdlePass(_) => "IdlePass",
+                    Msg::ShardExhausted(_) => "ShardExhausted",
+                    Msg::Failed(_) => "Failed",
+                })
+            ),
+        }
+    }
 }

@@ -11,9 +11,8 @@ use fastmatch_core::error::Result;
 use fastmatch_core::histogram::Histogram;
 use fastmatch_core::histsim::{Diagnostics, HistSimOutput, MatchedCandidate};
 use fastmatch_core::topk::k_smallest_indices;
-use fastmatch_store::io::BlockReader;
 
-use crate::exec::Executor;
+use crate::exec::{storage_err, Executor};
 use crate::query::QueryJob;
 use crate::result::{MatchOutput, RunStats};
 
@@ -32,17 +31,18 @@ impl Executor for ScanExec {
         let vx = job.num_groups();
         let mut counts = vec![0u64; vz * vx];
         let mut totals = vec![0u64; vz];
-        let mut reader =
-            BlockReader::new(job.table, job.layout).with_simulated_latency(job.block_latency_ns);
+        let mut reader = job.reader();
         for b in 0..job.layout.num_blocks() {
-            let (zs, xs) = reader.block_slices(b, job.z_attr, job.x_attr);
+            let (zs, xs) = reader
+                .try_block_slices(b, job.z_attr, job.x_attr)
+                .map_err(storage_err)?;
             for (&zc, &xc) in zs.iter().zip(xs) {
                 counts[zc as usize * vx + xc as usize] += 1;
                 totals[zc as usize] += 1;
             }
         }
 
-        let n = job.table.n_rows() as f64;
+        let n = job.n_rows() as f64;
         let sigma_threshold = job.cfg.sigma * n;
         let metric = job.cfg.metric;
         let mut tau = vec![f64::MAX; vz];
@@ -71,7 +71,7 @@ impl Executor for ScanExec {
             })
             .collect();
 
-        let samples = job.table.n_rows() as u64;
+        let samples = job.n_rows() as u64;
         let output = HistSimOutput {
             matches,
             diagnostics: Diagnostics {

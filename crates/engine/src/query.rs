@@ -1,19 +1,32 @@
-//! A fully prepared query: table, layout, index, target and parameters.
+//! A fully prepared query: storage source, layout, index, target and
+//! parameters.
 
 use fastmatch_core::histsim::HistSimConfig;
+use fastmatch_store::backend::StorageBackend;
 use fastmatch_store::bitmap::BitmapIndex;
 use fastmatch_store::block::BlockLayout;
+use fastmatch_store::io::BlockReader;
 use fastmatch_store::table::Table;
+
+/// Where a job's blocks come from: the in-memory table (seed regime) or
+/// any pluggable [`StorageBackend`] (e.g. the file-backed columnar
+/// store).
+#[derive(Debug, Clone, Copy)]
+enum Source<'a> {
+    Mem(&'a Table),
+    Backend(&'a dyn StorageBackend),
+}
 
 /// Everything an executor needs to run one top-k histogram-matching query.
 ///
-/// The table is expected to be pre-shuffled (the store's permutation
-/// preprocessing); the bitmap index must cover the candidate attribute
-/// under the same layout.
+/// The data is expected to be pre-shuffled (the store's permutation
+/// preprocessing — applied before persisting, for file-backed sources);
+/// the bitmap index must cover the candidate attribute under the same
+/// layout.
 #[derive(Debug)]
 pub struct QueryJob<'a> {
-    /// The (shuffled) data.
-    pub table: &'a Table,
+    /// The (shuffled) data source.
+    source: Source<'a>,
     /// Block granularity.
     pub layout: BlockLayout,
     /// Bitmap index over the candidate attribute.
@@ -26,16 +39,17 @@ pub struct QueryJob<'a> {
     pub target: Vec<f64>,
     /// HistSim parameters.
     pub cfg: HistSimConfig,
-    /// Simulated extra latency per block read, in nanoseconds (0 = pure
-    /// in-memory). Lets experiments model storage-bound systems where
-    /// block fetch dominates — the regime the paper's 2012-era testbed
-    /// sits closer to.
+    /// Simulated extra latency per block read, in nanoseconds (0 = no
+    /// extra latency). Layered on top of whatever the source itself
+    /// costs; lets experiments model storage-bound systems on in-memory
+    /// data — the regime the paper's 2012-era testbed sits closer to.
     pub block_latency_ns: u64,
 }
 
 impl<'a> QueryJob<'a> {
-    /// Builds a job, validating that the layout and index agree with the
-    /// table and that the target matches the grouping cardinality.
+    /// Builds a job over an in-memory table, validating that the layout
+    /// and index agree with the table and that the target matches the
+    /// grouping cardinality.
     pub fn new(
         table: &'a Table,
         layout: BlockLayout,
@@ -46,23 +60,50 @@ impl<'a> QueryJob<'a> {
         cfg: HistSimConfig,
     ) -> Self {
         assert_eq!(layout.n_rows(), table.n_rows(), "layout/table mismatch");
-        assert_eq!(
-            bitmap.num_blocks(),
-            layout.num_blocks(),
-            "bitmap/layout mismatch"
-        );
-        assert_eq!(
-            bitmap.num_values(),
-            table.cardinality(z_attr) as usize,
-            "bitmap must index the candidate attribute"
-        );
-        assert_eq!(
-            target.len(),
-            table.cardinality(x_attr) as usize,
-            "target arity must equal |V_X|"
-        );
-        QueryJob {
-            table,
+        Self::with_source(
+            Source::Mem(table),
+            layout,
+            bitmap,
+            z_attr,
+            x_attr,
+            target,
+            cfg,
+        )
+    }
+
+    /// Builds a job over any storage backend (the layout is the one the
+    /// data was stored under), with the same validations as
+    /// [`Self::new`].
+    pub fn from_backend(
+        backend: &'a dyn StorageBackend,
+        bitmap: &'a BitmapIndex,
+        z_attr: usize,
+        x_attr: usize,
+        target: Vec<f64>,
+        cfg: HistSimConfig,
+    ) -> Self {
+        Self::with_source(
+            Source::Backend(backend),
+            backend.layout(),
+            bitmap,
+            z_attr,
+            x_attr,
+            target,
+            cfg,
+        )
+    }
+
+    fn with_source(
+        source: Source<'a>,
+        layout: BlockLayout,
+        bitmap: &'a BitmapIndex,
+        z_attr: usize,
+        x_attr: usize,
+        target: Vec<f64>,
+        cfg: HistSimConfig,
+    ) -> Self {
+        let job = QueryJob {
+            source,
             layout,
             bitmap,
             z_attr,
@@ -70,7 +111,23 @@ impl<'a> QueryJob<'a> {
             target,
             cfg,
             block_latency_ns: 0,
-        }
+        };
+        assert_eq!(
+            bitmap.num_blocks(),
+            layout.num_blocks(),
+            "bitmap/layout mismatch"
+        );
+        assert_eq!(
+            bitmap.num_values(),
+            job.cardinality(z_attr) as usize,
+            "bitmap must index the candidate attribute"
+        );
+        assert_eq!(
+            job.target.len(),
+            job.cardinality(x_attr) as usize,
+            "target arity must equal |V_X|"
+        );
+        job
     }
 
     /// Sets the simulated per-block read latency.
@@ -79,20 +136,45 @@ impl<'a> QueryJob<'a> {
         self
     }
 
+    /// Number of rows in the data source.
+    pub fn n_rows(&self) -> usize {
+        self.layout.n_rows()
+    }
+
+    /// Cardinality of one attribute of the source.
+    pub fn cardinality(&self, attr: usize) -> u32 {
+        match self.source {
+            Source::Mem(table) => table.cardinality(attr),
+            Source::Backend(backend) => backend.cardinality(attr),
+        }
+    }
+
     /// Candidate cardinality `|V_Z|`.
     pub fn num_candidates(&self) -> usize {
-        self.table.cardinality(self.z_attr) as usize
+        self.cardinality(self.z_attr) as usize
     }
 
     /// Grouping cardinality `|V_X|`.
     pub fn num_groups(&self) -> usize {
-        self.table.cardinality(self.x_attr) as usize
+        self.cardinality(self.x_attr) as usize
+    }
+
+    /// A fresh block reader over the job's source, with the job's
+    /// simulated latency applied. Executors obtain all their I/O through
+    /// this, so they run unchanged over either storage regime.
+    pub fn reader(&self) -> BlockReader<'a> {
+        let reader = match self.source {
+            Source::Mem(table) => BlockReader::new(table, self.layout),
+            Source::Backend(backend) => BlockReader::over_backend(backend),
+        };
+        reader.with_simulated_latency(self.block_latency_ns)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fastmatch_store::file::FileBackend;
     use fastmatch_store::schema::{AttrDef, Schema};
 
     fn table() -> Table {
@@ -116,6 +198,45 @@ mod tests {
         );
         assert_eq!(job.num_candidates(), 3);
         assert_eq!(job.num_groups(), 2);
+        assert_eq!(job.n_rows(), 4);
+    }
+
+    #[test]
+    fn job_reader_serves_table_blocks() {
+        let t = table();
+        let layout = BlockLayout::new(4, 2);
+        let idx = BitmapIndex::build(&t, 0, &layout);
+        let job = QueryJob::new(
+            &t,
+            layout,
+            &idx,
+            0,
+            1,
+            vec![0.5, 0.5],
+            HistSimConfig::default(),
+        );
+        let mut r = job.reader();
+        let (zs, xs) = r.block_slices(1, 0, 1);
+        assert_eq!(zs, &[2, 0]);
+        assert_eq!(xs, &[0, 1]);
+    }
+
+    #[test]
+    fn backend_job_mirrors_memory_job() {
+        let t = table();
+        let layout = BlockLayout::new(4, 2);
+        let idx = BitmapIndex::build(&t, 0, &layout);
+        let path =
+            std::env::temp_dir().join(format!("fastmatch_queryjob_{}.fmb", std::process::id()));
+        let be = FileBackend::create(&path, &t, 2).unwrap();
+        let job = QueryJob::from_backend(&be, &idx, 0, 1, vec![0.5, 0.5], HistSimConfig::default());
+        assert_eq!(job.num_candidates(), 3);
+        assert_eq!(job.num_groups(), 2);
+        let mut r = job.reader();
+        let (zs, xs) = r.block_slices(1, 0, 1);
+        assert_eq!(zs, &[2, 0]);
+        assert_eq!(xs, &[0, 1]);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

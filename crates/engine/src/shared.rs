@@ -6,6 +6,20 @@
 //! demand and publishes snapshots here. Freshness is deliberately relaxed
 //! — the whole point of lookahead is that slightly stale active states are
 //! acceptable in exchange for never blocking I/O.
+//!
+//! ## Publication ordering
+//!
+//! Each publication is a *complete* snapshot: per-candidate `remaining`
+//! is stored first, the mode second, and the `epoch` counter is bumped
+//! **last**, exactly once, with release ordering. A reader that parks on
+//! the epoch and wakes on a new value therefore always observes the full
+//! publication that bumped it — never a fresh epoch paired with a stale
+//! mode or stale demand. (The original protocol bumped the epoch once in
+//! `set_mode` and once in a separate `publish_remaining`, so a worker
+//! woken by the first bump could act on a half-published snapshot —
+//! re-reading an entire pass under a stale `ReadAll`, or seeing
+//! `AnyActive` with the previous round's counts. The regression test in
+//! `tests/demand_ordering.rs` fails under that ordering.)
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
@@ -39,19 +53,39 @@ impl SharedDemand {
         }
     }
 
-    /// Publishes a new mode.
-    pub fn set_mode(&self, mode: DemandMode) {
+    /// Publishes one complete demand snapshot: the per-candidate
+    /// `remaining` counts (when the mode uses them), then the mode, then a
+    /// **single** release-ordered epoch bump. Readers woken by the new
+    /// epoch are guaranteed to see the whole snapshot; see the module
+    /// docs for why the order is load-bearing.
+    pub fn publish(&self, mode: DemandMode, remaining: Option<&[u64]>) {
+        if let Some(rem) = remaining {
+            debug_assert_eq!(rem.len(), self.remaining.len());
+            for (slot, &v) in self.remaining.iter().zip(rem) {
+                slot.store(v, Ordering::Relaxed);
+            }
+        }
         let v = match mode {
             DemandMode::ReadAll => 0,
             DemandMode::AnyActive => 1,
             DemandMode::Stop => 2,
         };
+        // Release on the mode store so even readers that poll `mode()`
+        // without touching the epoch observe the demand published with
+        // (or before) the mode they see.
         self.mode.store(v, Ordering::Release);
         self.epoch.fetch_add(1, Ordering::Release);
     }
 
-    /// Monotone counter bumped on every publication; lets an idle reader
-    /// wait for *new* demand instead of re-scanning unchanged state.
+    /// Publishes a mode-only snapshot (`ReadAll` / `Stop`), leaving the
+    /// per-candidate counts untouched.
+    pub fn set_mode(&self, mode: DemandMode) {
+        self.publish(mode, None);
+    }
+
+    /// Monotone counter bumped exactly once per publication; lets an idle
+    /// reader wait for *new* demand instead of re-scanning unchanged
+    /// state.
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
     }
@@ -65,19 +99,17 @@ impl SharedDemand {
         }
     }
 
-    /// Publishes the full per-candidate demand vector.
-    pub fn publish_remaining(&self, remaining: &[u64]) {
-        debug_assert_eq!(remaining.len(), self.remaining.len());
-        for (slot, &v) in self.remaining.iter().zip(remaining) {
-            slot.store(v, Ordering::Relaxed);
-        }
-        self.epoch.fetch_add(1, Ordering::Release);
-    }
-
     /// Whether candidate `c` is currently active (possibly stale).
     #[inline]
     pub fn is_active(&self, c: usize) -> bool {
         self.remaining[c].load(Ordering::Relaxed) > 0
+    }
+
+    /// The published outstanding count for candidate `c` (possibly
+    /// stale).
+    #[inline]
+    pub fn remaining(&self, c: usize) -> u64 {
+        self.remaining[c].load(Ordering::Relaxed)
     }
 
     /// Snapshot of the active candidate ids (used per lookahead window).
@@ -119,11 +151,22 @@ mod tests {
     fn demand_publication() {
         let s = SharedDemand::new(4);
         assert!(s.active_candidates().is_empty());
-        s.publish_remaining(&[0, 5, 0, 2]);
+        s.publish(DemandMode::AnyActive, Some(&[0, 5, 0, 2]));
         assert!(!s.is_active(0));
         assert!(s.is_active(1));
+        assert_eq!(s.remaining(1), 5);
         assert_eq!(s.active_candidates(), vec![1, 3]);
         assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn each_publication_bumps_epoch_once() {
+        let s = SharedDemand::new(2);
+        let e0 = s.epoch();
+        s.publish(DemandMode::AnyActive, Some(&[1, 2]));
+        assert_eq!(s.epoch(), e0 + 1);
+        s.set_mode(DemandMode::ReadAll);
+        assert_eq!(s.epoch(), e0 + 2);
     }
 
     #[test]
@@ -132,8 +175,7 @@ mod tests {
         let s = Arc::new(SharedDemand::new(2));
         let s2 = Arc::clone(&s);
         let h = std::thread::spawn(move || {
-            s2.publish_remaining(&[7, 0]);
-            s2.set_mode(DemandMode::AnyActive);
+            s2.publish(DemandMode::AnyActive, Some(&[7, 0]));
         });
         h.join().unwrap();
         assert_eq!(s.mode(), DemandMode::AnyActive);

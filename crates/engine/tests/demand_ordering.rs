@@ -1,0 +1,111 @@
+//! Regression stress tests for the `SharedDemand` publication protocol.
+//!
+//! The contract under test: each publication stores the per-candidate
+//! demand first, the mode second, and bumps the epoch **last**, exactly
+//! once — so a reader woken by a new epoch always observes the complete
+//! publication that bumped it.
+//!
+//! The original protocol bumped the epoch twice per publication (once in
+//! `publish_remaining`, once in `set_mode`, each immediately after its
+//! own store). Both tests below fail against that ordering:
+//!
+//! * `epoch_counts_publications_exactly` fails deterministically — the
+//!   epoch advances twice per snapshot, so epoch values and publication
+//!   generations drift apart;
+//! * `woken_reader_always_sees_the_complete_publication` fails
+//!   probabilistically — a reader released by the first (demand) bump can
+//!   observe the *old* mode, i.e. a half-published snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fastmatch_engine::shared::{DemandMode, SharedDemand};
+
+/// The mode a given publication generation carries (alternating, so a
+/// stale mode is always distinguishable from the fresh one).
+fn mode_for(generation: u64) -> DemandMode {
+    if generation % 2 == 1 {
+        DemandMode::AnyActive
+    } else {
+        DemandMode::ReadAll
+    }
+}
+
+#[test]
+fn epoch_counts_publications_exactly() {
+    let s = SharedDemand::new(3);
+    let base = s.epoch();
+    for generation in 1..=100u64 {
+        s.publish(mode_for(generation), Some(&[generation, 0, generation]));
+        assert_eq!(
+            s.epoch(),
+            base + generation,
+            "one publication must bump the epoch exactly once"
+        );
+    }
+}
+
+#[test]
+fn woken_reader_always_sees_the_complete_publication() {
+    const ROUNDS: u64 = 2_000;
+    let shared = Arc::new(SharedDemand::new(4));
+    // Handshake: the writer publishes generation g and waits for the
+    // reader's acknowledgement before publishing g + 1, so when the
+    // reader observes epoch ≥ g there are no in-flight stores — whatever
+    // it reads must be publication g, in full.
+    let ack = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        let writer = {
+            let shared = Arc::clone(&shared);
+            let ack = Arc::clone(&ack);
+            scope.spawn(move || {
+                for generation in 1..=ROUNDS {
+                    let rem = [generation; 4];
+                    shared.publish(mode_for(generation), Some(&rem));
+                    while ack.load(Ordering::Acquire) < generation {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let reader = {
+            let shared = Arc::clone(&shared);
+            let ack = Arc::clone(&ack);
+            scope.spawn(move || {
+                // Violations are collected (not asserted in-thread) so a
+                // failure cannot strand the writer on a never-arriving
+                // ack: the handshake always completes and the test fails
+                // cleanly after the join.
+                let mut violations = Vec::new();
+                for generation in 1..=ROUNDS {
+                    // Park like a shard worker: wait for a new epoch.
+                    while shared.epoch() < generation {
+                        std::thread::yield_now();
+                    }
+                    // Woken by the bump of publication `generation`, the
+                    // reader must see that publication's mode AND demand —
+                    // never the fresh epoch with a stale half.
+                    let mode = shared.mode();
+                    let rem = shared.remaining(0);
+                    if rem != generation || mode != mode_for(generation) {
+                        violations.push((generation, rem, mode));
+                    }
+                    ack.store(generation, Ordering::Release);
+                }
+                violations
+            })
+        };
+        writer.join().unwrap();
+        let violations = reader.join().unwrap();
+        assert!(
+            violations.is_empty(),
+            "woken readers saw {} stale/torn snapshots, first: \
+             epoch {:?} gave demand generation {:?} with mode {:?}",
+            violations.len(),
+            violations.first().map(|v| v.0),
+            violations.first().map(|v| v.1),
+            violations.first().map(|v| v.2),
+        );
+    });
+}

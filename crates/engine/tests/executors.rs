@@ -12,6 +12,7 @@ use fastmatch_engine::exec::{
     Executor, FastMatchExec, ParallelMatchExec, ScanExec, ScanMatchExec, SyncMatchExec,
 };
 use fastmatch_engine::query::QueryJob;
+use fastmatch_store::backend::StorageBackend;
 use fastmatch_store::bitmap::BitmapIndex;
 use fastmatch_store::block::BlockLayout;
 use fastmatch_store::table::Table;
@@ -253,6 +254,173 @@ fn shard_count_does_not_change_correctness() {
             "{shards} shards: reconstruction"
         );
     }
+}
+
+/// All five executors over the file-backed storage backend must produce
+/// matched sets identical to their in-memory runs: the backend changes
+/// where bytes come from, never the answer.
+#[test]
+fn file_backend_matches_memory_for_all_executors() {
+    let rows = 150_000;
+    let seed = 19u64;
+    let table = test_table(rows, seed);
+    let layout = BlockLayout::new(table.n_rows(), 64);
+    let bitmap = BitmapIndex::build(&table, 0, &layout);
+    let path = std::env::temp_dir().join(format!("fastmatch_exec_file_{}.fmb", std::process::id()));
+    // A cache far smaller than the ~2300 blocks forces real disk reads
+    // with eviction churn during the runs.
+    let backend = fastmatch_store::file::FileBackend::create(&path, &table, 64)
+        .unwrap()
+        .with_cache_blocks(128);
+
+    let execs: Vec<Box<dyn Executor>> = vec![
+        Box::new(ScanExec),
+        Box::new(ScanMatchExec),
+        Box::new(SyncMatchExec),
+        Box::new(FastMatchExec::with_lookahead(64)),
+        Box::new(ParallelMatchExec::with_shards(4)),
+    ];
+    for e in execs {
+        let mem_job = QueryJob::new(&table, layout, &bitmap, 0, 1, uniform(8), config());
+        let file_job = QueryJob::from_backend(&backend, &bitmap, 0, 1, uniform(8), config());
+        let mem = e
+            .run(&mem_job, seed)
+            .unwrap_or_else(|_| panic!("{} (mem)", e.name()));
+        let file = e
+            .run(&file_job, seed)
+            .unwrap_or_else(|_| panic!("{} (file)", e.name()));
+        let mut mem_ids = mem.candidate_ids();
+        let mut file_ids = file.candidate_ids();
+        mem_ids.sort_unstable();
+        file_ids.sort_unstable();
+        assert_eq!(
+            file_ids,
+            mem_ids,
+            "{}: file-backed matched set diverged",
+            e.name()
+        );
+        assert!(
+            file.stats.io.blocks_read > 0,
+            "{}: file run read no blocks",
+            e.name()
+        );
+    }
+    let cs = backend.cache_stats();
+    assert!(cs.misses > 0, "runs never touched the disk");
+    assert!(cs.evictions > 0, "bounded cache never evicted");
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Tiny tables: 0 blocks (empty) must error out cleanly, and 1 or
+/// shards−1 blocks must terminate with the exact answer for every shard
+/// count — no worker may park forever on an empty or starved shard.
+#[test]
+fn parallel_match_handles_tiny_tables_across_shard_counts() {
+    // nb = 1 block and nb = 3 blocks (one fewer than the 4-shard
+    // default), across shard counts from 1 to twice the block count.
+    for &(rows, tpb) in &[(64usize, 64usize), (192, 64)] {
+        let table = test_table(rows, 3);
+        let layout = BlockLayout::new(table.n_rows(), tpb);
+        let bitmap = BitmapIndex::build(&table, 0, &layout);
+        let cfg = HistSimConfig {
+            sigma: 0.0,
+            ..config()
+        };
+        let job = QueryJob::new(&table, layout, &bitmap, 0, 1, uniform(8), cfg.clone());
+        let reference = SyncMatchExec.run(&job, 7).unwrap();
+        let mut ref_ids = reference.candidate_ids();
+        ref_ids.sort_unstable();
+        for shards in [1usize, 2, 4, 8] {
+            let out = ParallelMatchExec::with_shards(shards)
+                .run(&job, 7)
+                .unwrap_or_else(|e| {
+                    panic!("{} blocks / {shards} shards: {e}", layout.num_blocks())
+                });
+            let mut ids = out.candidate_ids();
+            ids.sort_unstable();
+            assert_eq!(
+                ids,
+                ref_ids,
+                "{} blocks / {shards} shards",
+                layout.num_blocks()
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_table_errors_instead_of_hanging() {
+    let table = test_table(0, 3);
+    let layout = BlockLayout::new(0, 64);
+    let bitmap = BitmapIndex::build(&table, 0, &layout);
+    let job = QueryJob::new(&table, layout, &bitmap, 0, 1, uniform(8), config());
+    let execs: Vec<Box<dyn Executor>> = vec![
+        Box::new(ScanMatchExec),
+        Box::new(SyncMatchExec),
+        Box::new(FastMatchExec::with_lookahead(16)),
+        Box::new(ParallelMatchExec::with_shards(4)),
+    ];
+    for e in execs {
+        assert!(
+            e.run(&job, 1).is_err(),
+            "{}: empty table must be a clean error",
+            e.name()
+        );
+    }
+}
+
+/// Sharding a reader more ways than there are blocks yields empty
+/// shards (the worker-side exhaust-and-exit behavior for such shards is
+/// unit-tested next to `shard_worker` itself).
+#[test]
+fn oversharded_reader_yields_empty_shards() {
+    let table = test_table(128, 5); // 2 blocks of 64
+    let layout = BlockLayout::new(table.n_rows(), 64);
+    let reader = fastmatch_store::io::BlockReader::new(&table, layout);
+    for i in 0..6 {
+        let shard = reader.shard(i, 6);
+        if i >= 2 {
+            assert_eq!(shard.num_blocks(), 0, "shard {i} of 6 over 2 blocks");
+        }
+    }
+}
+
+/// A corrupt page must fail every executor — including the threaded
+/// ones — with `CoreError::Storage`, not a panic or a silently wrong
+/// answer.
+#[test]
+fn corrupt_page_fails_all_executors_with_storage_error() {
+    let table = test_table(20_000, 5);
+    let path =
+        std::env::temp_dir().join(format!("fastmatch_exec_corrupt_{}.fmb", std::process::id()));
+    fastmatch_store::file::write_table(&path, &table, 64).unwrap();
+    // Damage one byte in the middle of the page region.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    let backend = fastmatch_store::file::FileBackend::open(&path).unwrap();
+    let bitmap = BitmapIndex::build(&table, 0, &backend.layout());
+    let execs: Vec<Box<dyn Executor>> = vec![
+        Box::new(ScanExec),
+        Box::new(ScanMatchExec),
+        Box::new(SyncMatchExec),
+        Box::new(FastMatchExec::with_lookahead(64)),
+        Box::new(ParallelMatchExec::with_shards(4)),
+    ];
+    for e in execs {
+        // Stage 1 wants every row of this small table, so each executor
+        // must reach the damaged block before it can terminate.
+        let job = QueryJob::from_backend(&backend, &bitmap, 0, 1, uniform(8), config());
+        match e.run(&job, 1) {
+            Err(fastmatch_core::error::CoreError::Storage(msg)) => {
+                assert!(msg.contains("corrupt"), "{}: {msg}", e.name())
+            }
+            Err(other) => panic!("{}: wrong error kind: {other}", e.name()),
+            Ok(_) => panic!("{}: run over a corrupt file succeeded", e.name()),
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]

@@ -1,0 +1,146 @@
+//! The pluggable storage abstraction behind all block I/O.
+//!
+//! [`StorageBackend`] is the seam between the executors and the physical
+//! representation of a table: everything above it ([`crate::io::BlockReader`],
+//! the engine's executors) requests *blocks of dictionary codes* and never
+//! learns whether those codes live in RAM ([`MemBackend`]), in a
+//! checksummed column file ([`crate::file::FileBackend`]), or — in the
+//! future — behind an mmap or async fetch path. Backends are read-side
+//! shared state: they take `&self` and must be [`Sync`], because the
+//! sharded executors hit one backend from many worker threads at once.
+
+use crate::block::BlockLayout;
+use crate::error::Result;
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// A source of table blocks: schema + block geometry + a fallible
+/// block-page read primitive.
+///
+/// Implementations must be safe to share across threads (`Sync`); reads
+/// of distinct or identical blocks may happen concurrently.
+pub trait StorageBackend: Sync + std::fmt::Debug {
+    /// The stored table's schema (attribute names and cardinalities).
+    fn schema(&self) -> &Schema;
+
+    /// The block geometry the data is stored under.
+    fn layout(&self) -> BlockLayout;
+
+    /// Reads the codes of attribute `attr` in block `b` into `out`
+    /// (cleared first). On success `out` holds exactly
+    /// `layout().block_len(b)` codes.
+    fn read_block_into(&self, b: usize, attr: usize, out: &mut Vec<u32>) -> Result<()>;
+
+    /// Reads the aligned code pages of two attributes of block `b` — the
+    /// shape every histogram-matching executor consumes.
+    fn read_block_pair_into(
+        &self,
+        b: usize,
+        z_attr: usize,
+        x_attr: usize,
+        zs: &mut Vec<u32>,
+        xs: &mut Vec<u32>,
+    ) -> Result<()> {
+        self.read_block_into(b, z_attr, zs)?;
+        self.read_block_into(b, x_attr, xs)
+    }
+
+    /// Number of rows stored.
+    fn n_rows(&self) -> usize {
+        self.layout().n_rows()
+    }
+
+    /// Cardinality of one attribute (shorthand over [`Self::schema`]).
+    fn cardinality(&self, attr: usize) -> u32 {
+        self.schema().attr(attr).cardinality
+    }
+}
+
+/// The in-memory backend: a view over a [`Table`] under a chosen layout.
+///
+/// This is the seed system's original storage regime, now behind the
+/// trait; block "reads" are column-slice copies, so any latency model
+/// (e.g. [`crate::io::BlockReader::with_simulated_latency`]) is layered
+/// on top by the reader, not the backend.
+#[derive(Debug, Clone, Copy)]
+pub struct MemBackend<'a> {
+    table: &'a Table,
+    layout: BlockLayout,
+}
+
+impl<'a> MemBackend<'a> {
+    /// Creates a view of `table` under `layout`.
+    ///
+    /// # Panics
+    /// Panics if the layout's row count disagrees with the table's.
+    pub fn new(table: &'a Table, layout: BlockLayout) -> Self {
+        assert_eq!(table.n_rows(), layout.n_rows(), "layout/table mismatch");
+        MemBackend { table, layout }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &'a Table {
+        self.table
+    }
+}
+
+impl StorageBackend for MemBackend<'_> {
+    fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+
+    fn layout(&self) -> BlockLayout {
+        self.layout
+    }
+
+    fn read_block_into(&self, b: usize, attr: usize, out: &mut Vec<u32>) -> Result<()> {
+        let range = self.layout.rows_of_block(b);
+        out.clear();
+        out.extend_from_slice(&self.table.column(attr)[range]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrDef;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![AttrDef::new("z", 4), AttrDef::new("x", 2)]);
+        let z: Vec<u32> = (0..10).map(|r| r % 4).collect();
+        let x: Vec<u32> = (0..10).map(|r| r % 2).collect();
+        Table::new(schema, vec![z, x])
+    }
+
+    #[test]
+    fn mem_backend_reads_match_columns() {
+        let t = table();
+        let layout = BlockLayout::new(10, 4);
+        let be = MemBackend::new(&t, layout);
+        assert_eq!(be.n_rows(), 10);
+        assert_eq!(be.cardinality(0), 4);
+        let mut buf = Vec::new();
+        for b in 0..layout.num_blocks() {
+            be.read_block_into(b, 0, &mut buf).unwrap();
+            assert_eq!(buf.as_slice(), &t.column(0)[layout.rows_of_block(b)]);
+        }
+    }
+
+    #[test]
+    fn pair_reads_are_row_aligned() {
+        let t = table();
+        let be = MemBackend::new(&t, BlockLayout::new(10, 3));
+        let (mut zs, mut xs) = (Vec::new(), Vec::new());
+        be.read_block_pair_into(1, 0, 1, &mut zs, &mut xs).unwrap();
+        assert_eq!(zs, &t.column(0)[3..6]);
+        assert_eq!(xs, &t.column(1)[3..6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "layout/table mismatch")]
+    fn mismatched_layout_panics() {
+        let t = table();
+        MemBackend::new(&t, BlockLayout::new(12, 4));
+    }
+}

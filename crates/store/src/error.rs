@@ -1,0 +1,88 @@
+//! Storage-layer error types.
+//!
+//! The in-memory substrate is infallible by construction (all invariants
+//! are asserted at build time), but real storage backends can fail: I/O
+//! errors, malformed files, and corrupted (checksum-mismatched) pages all
+//! surface as [`StoreError`] values rather than panics, so a damaged block
+//! file never takes the process down with it.
+
+use std::fmt;
+
+/// Errors produced by storage backends.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O error.
+    Io(std::io::Error),
+    /// The file is not a valid block file (bad magic, truncated header,
+    /// inconsistent geometry).
+    Format(String),
+    /// A page failed its checksum: the stored data does not match what
+    /// was written.
+    Corrupt {
+        /// Attribute whose page was corrupt.
+        attr: usize,
+        /// Block id of the corrupt page.
+        block: usize,
+        /// Human-readable detail (expected/actual checksums).
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StoreError::Format(msg) => write!(f, "invalid block file: {msg}"),
+            StoreError::Corrupt {
+                attr,
+                block,
+                detail,
+            } => write!(f, "corrupt page (attr {attr}, block {block}): {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Convenience alias for storage-layer results.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = StoreError::Format("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        let e = StoreError::Corrupt {
+            attr: 1,
+            block: 7,
+            detail: "checksum mismatch".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("attr 1") && s.contains("block 7"));
+        let e = StoreError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let e: StoreError = std::io::Error::other("disk fire").into();
+        assert!(matches!(e, StoreError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,10 +1,13 @@
 //! The block I/O manager (paper §4.1).
 //!
 //! All data access goes through [`BlockReader`], which services requests at
-//! block granularity and accounts for what was read versus skipped. The
-//! reader can inject a simulated per-block latency (busy-wait) so that the
-//! relative cost of I/O versus decision-making — the motivation for the
-//! asynchronous lookahead design — can be studied on fast in-memory data.
+//! block granularity and accounts for what was read versus skipped. A
+//! reader runs over any [`StorageBackend`]: the in-memory table view (the
+//! seed regime, with an optional simulated per-block latency so the
+//! relative cost of I/O versus decision-making can be studied on fast
+//! in-memory data) or a real backend such as
+//! [`crate::file::FileBackend`], where block reads are disk reads through
+//! a bounded cache and can fail ([`Self::try_block_slices`]).
 //!
 //! For multi-core executors, [`BlockReader::shard`] splits the block
 //! sequence into `n` disjoint contiguous ranges, each served by its own
@@ -13,7 +16,9 @@
 
 use std::ops::Range;
 
+use crate::backend::StorageBackend;
 use crate::block::BlockLayout;
+use crate::error::Result;
 use crate::table::Table;
 
 /// I/O accounting: how much data a run touched.
@@ -63,32 +68,62 @@ impl std::iter::Sum for IoStats {
     }
 }
 
-/// Synchronous block reader over a table with a fixed layout. Cloning
-/// yields an independent reader over the same (shared, immutable) data;
-/// use [`BlockReader::shard`] for views with zeroed statistics.
+/// Where a reader's blocks come from. References only — cheap to copy,
+/// so sharding and cloning a reader never duplicates data.
+#[derive(Debug, Clone, Copy)]
+enum Source<'a> {
+    /// Direct in-memory table access: `block_slices` is zero-copy.
+    Mem(&'a Table),
+    /// Any pluggable backend: pages are read into the reader's scratch
+    /// buffers (and may fail).
+    Backend(&'a dyn StorageBackend),
+}
+
+/// Synchronous block reader over a storage source with a fixed layout.
+/// Cloning yields an independent reader over the same (shared, immutable)
+/// data; use [`BlockReader::shard`] for views with zeroed statistics.
 #[derive(Debug, Clone)]
 pub struct BlockReader<'a> {
-    table: &'a Table,
+    source: Source<'a>,
     layout: BlockLayout,
     stats: IoStats,
     /// Simulated extra latency per block read, in nanoseconds (0 = off).
     latency_ns_per_block: u64,
+    /// Scratch pages for backend reads (empty on the in-memory path).
+    zbuf: Vec<u32>,
+    xbuf: Vec<u32>,
 }
 
 impl<'a> BlockReader<'a> {
-    /// Creates a reader over `table` with the given layout.
+    /// Creates a reader over an in-memory `table` with the given layout.
     pub fn new(table: &'a Table, layout: BlockLayout) -> Self {
         assert_eq!(table.n_rows(), layout.n_rows(), "layout/table mismatch");
         BlockReader {
-            table,
+            source: Source::Mem(table),
             layout,
             stats: IoStats::default(),
             latency_ns_per_block: 0,
+            zbuf: Vec::new(),
+            xbuf: Vec::new(),
+        }
+    }
+
+    /// Creates a reader over any [`StorageBackend`], taking the layout
+    /// from the backend.
+    pub fn over_backend(backend: &'a dyn StorageBackend) -> Self {
+        BlockReader {
+            layout: backend.layout(),
+            source: Source::Backend(backend),
+            stats: IoStats::default(),
+            latency_ns_per_block: 0,
+            zbuf: Vec::new(),
+            xbuf: Vec::new(),
         }
     }
 
     /// Enables a simulated per-block latency (busy-wait of `ns`
-    /// nanoseconds on every block read).
+    /// nanoseconds on every block read), layered on top of whatever the
+    /// source itself costs.
     pub fn with_simulated_latency(mut self, ns: u64) -> Self {
         self.latency_ns_per_block = ns;
         self
@@ -107,6 +142,10 @@ impl<'a> BlockReader<'a> {
     /// Reads block `b`, invoking `visit(z_code, x_code)` for every tuple,
     /// where codes come from the two given attributes. Returns the number
     /// of tuples visited.
+    ///
+    /// # Panics
+    /// Panics if the storage read fails (see [`Self::try_block_slices`]
+    /// for the fallible path).
     #[inline]
     pub fn read_block_pair(
         &mut self,
@@ -115,34 +154,59 @@ impl<'a> BlockReader<'a> {
         x_attr: usize,
         mut visit: impl FnMut(u32, u32),
     ) -> usize {
-        if self.latency_ns_per_block > 0 {
-            busy_wait_ns(self.latency_ns_per_block);
-        }
-        let range = self.layout.rows_of_block(b);
-        let z = &self.table.column(z_attr)[range.clone()];
-        let x = &self.table.column(x_attr)[range];
+        let (z, x) = self.block_slices(b, z_attr, x_attr);
         for (&zc, &xc) in z.iter().zip(x) {
             visit(zc, xc);
         }
-        self.stats.blocks_read += 1;
-        self.stats.tuples_read += z.len() as u64;
         z.len()
     }
 
     /// Reads block `b`, returning the raw code slices of the two given
-    /// attributes (aligned row-wise). The zero-copy variant of
-    /// [`Self::read_block_pair`] used by batched consumers.
+    /// attributes (aligned row-wise) — zero-copy on the in-memory path,
+    /// served from the reader's scratch pages on backend paths.
+    ///
+    /// # Panics
+    /// Panics if the storage read fails; hot loops that cannot propagate
+    /// errors use this, everything else should prefer
+    /// [`Self::try_block_slices`].
     #[inline]
     pub fn block_slices(&mut self, b: usize, z_attr: usize, x_attr: usize) -> (&[u32], &[u32]) {
+        match self.try_block_slices(b, z_attr, x_attr) {
+            Ok(pair) => pair,
+            Err(e) => panic!("storage read of block {b} failed: {e}"),
+        }
+    }
+
+    /// Fallible twin of [`Self::block_slices`]: storage-level failures
+    /// (I/O errors, corrupt pages) surface as `Err` instead of a panic.
+    /// Statistics are only updated on success.
+    #[inline]
+    pub fn try_block_slices(
+        &mut self,
+        b: usize,
+        z_attr: usize,
+        x_attr: usize,
+    ) -> Result<(&[u32], &[u32])> {
         if self.latency_ns_per_block > 0 {
             busy_wait_ns(self.latency_ns_per_block);
         }
-        let range = self.layout.rows_of_block(b);
-        let z = &self.table.column(z_attr)[range.clone()];
-        let x = &self.table.column(x_attr)[range];
-        self.stats.blocks_read += 1;
-        self.stats.tuples_read += z.len() as u64;
-        (z, x)
+        let source = self.source;
+        match source {
+            Source::Mem(table) => {
+                let range = self.layout.rows_of_block(b);
+                let z = &table.column(z_attr)[range.clone()];
+                let x = &table.column(x_attr)[range];
+                self.stats.blocks_read += 1;
+                self.stats.tuples_read += z.len() as u64;
+                Ok((z, x))
+            }
+            Source::Backend(backend) => {
+                backend.read_block_pair_into(b, z_attr, x_attr, &mut self.zbuf, &mut self.xbuf)?;
+                self.stats.blocks_read += 1;
+                self.stats.tuples_read += self.zbuf.len() as u64;
+                Ok((&self.zbuf, &self.xbuf))
+            }
+        }
     }
 
     /// Records that block `b` was deliberately skipped.
@@ -224,7 +288,8 @@ impl<'a> ShardedBlockReader<'a> {
     /// [`BlockReader::block_slices`].
     ///
     /// # Panics
-    /// Panics if `b` lies outside the shard's range.
+    /// Panics if `b` lies outside the shard's range, or if the storage
+    /// read fails (see [`Self::try_block_slices`]).
     #[inline]
     pub fn block_slices(&mut self, b: usize, z_attr: usize, x_attr: usize) -> (&[u32], &[u32]) {
         assert!(
@@ -233,6 +298,26 @@ impl<'a> ShardedBlockReader<'a> {
             self.blocks
         );
         self.inner.block_slices(b, z_attr, x_attr)
+    }
+
+    /// Fallible twin of [`Self::block_slices`].
+    ///
+    /// # Panics
+    /// Panics if `b` lies outside the shard's range (a caller bug, unlike
+    /// a storage failure).
+    #[inline]
+    pub fn try_block_slices(
+        &mut self,
+        b: usize,
+        z_attr: usize,
+        x_attr: usize,
+    ) -> Result<(&[u32], &[u32])> {
+        assert!(
+            self.blocks.contains(&b),
+            "block {b} outside shard range {:?}",
+            self.blocks
+        );
+        self.inner.try_block_slices(b, z_attr, x_attr)
     }
 
     /// Records that block `b` (which must belong to the shard) was

@@ -15,29 +15,41 @@
 //! * boolean predicates over attribute values ([`predicate::Predicate`]);
 //! * equal-width binning of continuous attributes (Appendix A.1.4 / A.1.6,
 //!   [`binning::Binner`]);
-//! * a block reader that accounts blocks read/skipped and tuples touched,
-//!   with an optional simulated per-block latency so storage-media cost
-//!   models can be explored ([`io::BlockReader`]), and shardable into
-//!   disjoint block-range views with per-shard, aggregatable statistics
-//!   for multi-core executors ([`io::ShardedBlockReader`]).
+//! * a pluggable storage abstraction ([`backend::StorageBackend`]) with
+//!   two implementations — the in-memory table view
+//!   ([`backend::MemBackend`]) and a checksummed on-disk columnar block
+//!   file with a bounded, sharded block cache ([`file::FileBackend`]) —
+//!   plus fallible storage errors ([`error::StoreError`]);
+//! * a block reader over any backend that accounts blocks read/skipped
+//!   and tuples touched, with an optional simulated per-block latency so
+//!   storage-media cost models can be explored ([`io::BlockReader`]), and
+//!   shardable into disjoint block-range views with per-shard,
+//!   aggregatable statistics for multi-core executors
+//!   ([`io::ShardedBlockReader`]).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod backend;
 pub mod binning;
 pub mod bitmap;
 pub mod block;
 pub mod density;
+pub mod error;
+pub mod file;
 pub mod io;
 pub mod predicate;
 pub mod schema;
 pub mod shuffle;
 pub mod table;
 
+pub use backend::{MemBackend, StorageBackend};
 pub use binning::Binner;
 pub use bitmap::BitmapIndex;
 pub use block::BlockLayout;
 pub use density::DensityMap;
+pub use error::StoreError;
+pub use file::{write_table, CacheStats, FileBackend};
 pub use io::{BlockReader, IoStats, ShardedBlockReader};
 pub use predicate::Predicate;
 pub use schema::{AttrDef, Schema};

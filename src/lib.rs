@@ -9,7 +9,8 @@
 //! * [`core`] (`fastmatch-core`) — the HistSim algorithm and its
 //!   statistical machinery;
 //! * [`store`] (`fastmatch-store`) — the columnar block storage substrate
-//!   with bitmap indexes;
+//!   with bitmap indexes and pluggable backends (in-memory tables or
+//!   checksummed on-disk block files behind a bounded block cache);
 //! * [`data`] (`fastmatch-data`) — synthetic evaluation datasets and the
 //!   Table 3 query workload;
 //! * [`engine`] (`fastmatch-engine`) — the `Scan` / `ScanMatch` /
@@ -61,5 +62,7 @@ pub mod prelude {
     };
     pub use fastmatch_engine::query::QueryJob;
     pub use fastmatch_engine::result::MatchOutput;
-    pub use fastmatch_store::{BitmapIndex, BlockLayout, Table};
+    pub use fastmatch_store::{
+        BitmapIndex, BlockLayout, FileBackend, MemBackend, StorageBackend, StoreError, Table,
+    };
 }

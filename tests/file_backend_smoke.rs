@@ -1,0 +1,70 @@
+//! End-to-end smoke test for the file-backed storage path, run as its own
+//! CI step: build a small synthetic dataset on disk (in `$TMPDIR`), run
+//! `ParallelMatch` against the file, and require matched-set agreement
+//! with the in-memory `SyncMatch` baseline.
+
+use fastmatch::prelude::*;
+use fastmatch_data::gen::{conditional_with_planted_pool, generate_table, ColumnGen, ColumnSpec};
+use fastmatch_data::shapes::{far_pool, uniform};
+use fastmatch_store::shuffle::shuffle_table;
+
+#[test]
+fn parallel_match_over_files_agrees_with_sync_match() {
+    let groups = 8usize;
+    let dists = conditional_with_planted_pool(
+        48,
+        &uniform(groups),
+        &[(0, 0.0), (4, 0.03), (9, 0.05), (17, 0.07)],
+        &far_pool(groups),
+        0.2,
+        0x51,
+    );
+    let specs = vec![
+        ColumnSpec::new("z", 48, ColumnGen::PrimaryZipf { s: 1.1 }),
+        ColumnSpec::new(
+            "x",
+            groups as u32,
+            ColumnGen::Conditional { parent: 0, dists },
+        ),
+    ];
+    // Shuffle before persisting, as the real preprocessing pipeline does.
+    let table = shuffle_table(&generate_table(&specs, 120_000, 7), 0xfeed);
+    let layout = BlockLayout::new(table.n_rows(), 150);
+    let bitmap = BitmapIndex::build(&table, 0, &layout);
+    let cfg = HistSimConfig {
+        k: 4,
+        epsilon: 0.1,
+        delta: 0.05,
+        sigma: 0.001,
+        stage1_samples: 15_000,
+        ..HistSimConfig::default()
+    };
+
+    let path = std::env::temp_dir().join(format!("fastmatch_smoke_{}.fmb", std::process::id()));
+    let backend = FileBackend::create(&path, &table, 150)
+        .expect("persisting the dataset failed")
+        .with_cache_blocks(64);
+
+    let mem_job = QueryJob::new(&table, layout, &bitmap, 0, 1, uniform(groups), cfg.clone());
+    let sync = SyncMatchExec.run(&mem_job, 3).expect("SyncMatch failed");
+
+    let file_job = QueryJob::from_backend(&backend, &bitmap, 0, 1, uniform(groups), cfg);
+    let par = ParallelMatchExec::with_shards(4)
+        .run(&file_job, 3)
+        .expect("ParallelMatch over files failed");
+
+    let mut sync_ids = sync.candidate_ids();
+    let mut par_ids = par.candidate_ids();
+    sync_ids.sort_unstable();
+    par_ids.sort_unstable();
+    assert_eq!(
+        par_ids, sync_ids,
+        "file-backed ParallelMatch must find the matched set of the in-memory baseline"
+    );
+    assert!(par.stats.io.blocks_read > 0);
+    assert!(
+        backend.cache_stats().misses > 0,
+        "the run must have performed real file reads"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
