@@ -1,0 +1,185 @@
+//! `service_throughput` — multi-query serving over one shared
+//! file-backed store: queries/sec and p50/p99 latency at 1, 4 and 16
+//! concurrent queries through `QueryService`, with the shared block
+//! cache's hit rate per concurrency level (the contention headline: the
+//! same cache that serves one query comfortably collapses when sixteen
+//! working sets overlap in it).
+//!
+//! The query mix cycles the FLIGHTS workload of `fastmatch-data::queries`
+//! (Table 3, q1–q4: two planted-candidate targets, one explicit shape,
+//! one closest-to-uniform — three different grouping attributes) with
+//! per-query seeds, all over one persisted FLIGHTS dataset.
+//!
+//! Scale knobs: `FASTMATCH_BENCH_ROWS` (default 300,000),
+//! `FASTMATCH_CACHE_BLOCKS` (default 1024 pages — below the working
+//! set), `FASTMATCH_SERVICE_QUERIES` (queries per level, default 24),
+//! `FASTMATCH_SEED` (default 42).
+
+use std::time::{Duration, Instant};
+
+use fastmatch_bench::report::render_table;
+use fastmatch_core::histsim::HistSimConfig;
+use fastmatch_data::datasets::DatasetId;
+use fastmatch_data::queries::{all_queries, QuerySpec};
+use fastmatch_engine::service::{QueryOutcome, QueryRequest, QueryService, ServiceConfig};
+use fastmatch_store::backend::StorageBackend;
+use fastmatch_store::bitmap::BitmapIndex;
+use fastmatch_store::file::{write_table, FileBackend};
+use fastmatch_store::shuffle::shuffle_table;
+use fastmatch_store::tempfile::TempBlockFile;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn stage1_samples(rows: usize) -> u64 {
+    ((rows as u64) / 100)
+        .clamp(10_000, 500_000)
+        .min(rows as u64)
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let rows = env_usize("FASTMATCH_BENCH_ROWS", 300_000).max(50_000);
+    let cache_blocks = env_usize("FASTMATCH_CACHE_BLOCKS", 1024).max(1);
+    let queries_per_level = env_usize("FASTMATCH_SERVICE_QUERIES", 24).max(1);
+    let seed = env_usize("FASTMATCH_SEED", 42) as u64;
+
+    println!("== service_throughput: concurrent queries over one shared FileBackend ==\n");
+    println!(
+        "# host parallelism: {} core(s) — on one core concurrency buys scheduling overlap, not CPU",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    // One persisted FLIGHTS dataset, shared by every query.
+    let t0 = Instant::now();
+    let table = shuffle_table(&DatasetId::Flights.generate(rows, seed), seed ^ 0x5e11);
+    let scratch = TempBlockFile::new("service_throughput");
+    let tpb = 150usize;
+    let bytes = write_table(scratch.path(), &table, tpb).expect("persist failed");
+    println!(
+        "# persisted flights: {} rows, {:.1} MiB, {} blocks/attr (built in {:.2?})",
+        rows,
+        bytes as f64 / (1024.0 * 1024.0),
+        table.n_rows().div_ceil(tpb),
+        t0.elapsed()
+    );
+
+    // The FLIGHTS mix (Table 3 q1–q4): all share Z = Origin, so one
+    // bitmap serves the whole mix.
+    let specs: Vec<QuerySpec> = all_queries()
+        .into_iter()
+        .filter(|q| q.dataset == DatasetId::Flights)
+        .collect();
+    assert_eq!(specs.len(), 4, "expected the four FLIGHTS queries");
+    let z = specs[0].z_attr(&table);
+    let prepared: Vec<(usize, usize, Vec<f64>, usize)> = specs
+        .iter()
+        .map(|q| {
+            assert_eq!(q.z_attr(&table), z, "all flights queries share Z=Origin");
+            let x = q.x_attr(&table);
+            let (target, _) = q.resolve_target(&table);
+            (z, x, target, q.k)
+        })
+        .collect();
+
+    let backend = FileBackend::open(scratch.path())
+        .expect("open failed")
+        .with_cache_blocks(cache_blocks);
+    let layout = backend.layout();
+    let bitmap = BitmapIndex::build(&table, z, &layout);
+    println!(
+        "# cache bounded at {} pages ({} blocks/attr on disk), {} queries per level\n",
+        cache_blocks,
+        layout.num_blocks(),
+        queries_per_level
+    );
+
+    let cfg_for = |k: usize| HistSimConfig {
+        k,
+        stage1_samples: stage1_samples(rows),
+        ..HistSimConfig::default()
+    };
+
+    let mut rows_out = Vec::new();
+    for &concurrency in &[1usize, 4, 16] {
+        let service_cfg = ServiceConfig::default();
+        let cache_before = backend.cache_stats();
+        let mut latencies: Vec<Duration> = Vec::with_capacity(queries_per_level);
+        let mut attributed_hit_rate = 0.0f64;
+        let started = Instant::now();
+        QueryService::serve(&backend, service_cfg, |svc| {
+            // Closed-loop load at fixed concurrency: waves of
+            // `concurrency` in-flight queries, cycling the mix.
+            let mut submitted = 0usize;
+            while submitted < queries_per_level {
+                let wave = concurrency.min(queries_per_level - submitted);
+                let handles: Vec<_> = (0..wave)
+                    .map(|i| {
+                        let n = submitted + i;
+                        let (z, x, target, k) = &prepared[n % prepared.len()];
+                        svc.submit(
+                            QueryRequest::new(&bitmap, *z, *x, target.clone(), cfg_for(*k))
+                                .with_seed(seed.wrapping_add(1000 + n as u64)),
+                        )
+                        .expect("admission failed")
+                    })
+                    .collect();
+                for h in &handles {
+                    match h.wait() {
+                        QueryOutcome::Finished(out) => {
+                            latencies.push(out.stats.wall);
+                            attributed_hit_rate += out.stats.io.cache_hit_rate();
+                        }
+                        other => panic!("query did not finish: {other:?}"),
+                    }
+                }
+                submitted += wave;
+            }
+        });
+        let makespan = started.elapsed();
+        let cache = backend.cache_stats().since(cache_before);
+        latencies.sort_unstable();
+        let qps = queries_per_level as f64 / makespan.as_secs_f64();
+        rows_out.push(vec![
+            concurrency.to_string(),
+            queries_per_level.to_string(),
+            format!("{qps:.2}"),
+            format!("{:.1}", percentile(&latencies, 0.50).as_secs_f64() * 1e3),
+            format!("{:.1}", percentile(&latencies, 0.99).as_secs_f64() * 1e3),
+            format!("{:.1}", cache.hit_rate() * 100.0),
+            format!(
+                "{:.1}",
+                attributed_hit_rate / queries_per_level as f64 * 100.0
+            ),
+            cache.pressure.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "concurrency",
+                "queries",
+                "qps",
+                "p50 ms",
+                "p99 ms",
+                "cache hit %",
+                "per-query hit %",
+                "pressure",
+            ],
+            &rows_out
+        )
+    );
+    println!(
+        "# per-query hit % averages each query's own attributed IoStats view of the shared cache"
+    );
+}

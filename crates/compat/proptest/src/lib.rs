@@ -120,7 +120,7 @@ pub mod prop {
         use rand::Rng;
 
         /// Either a fixed size (`usize`) or a random size range
-        /// (`Range<usize>`) for [`vec`].
+        /// (`Range<usize>`) for [`vec()`].
         pub trait IntoSizeRange {
             /// Draws a concrete length.
             fn pick(&self, rng: &mut StdRng) -> usize;

@@ -803,6 +803,28 @@ impl HistSim {
         self.pruned[c as usize]
     }
 
+    /// The current best *estimate* of the top-k: the `effective_k`
+    /// unpruned candidates with the smallest running distance estimates
+    /// (cumulative plus in-flight round counts). Once the run is done
+    /// this equals the guaranteed output's matched set; before that it is
+    /// a progressive, guarantee-free preview — exactly what a serving
+    /// layer shows while a query is still refining. Cheap enough to call
+    /// per merge (one `τ` evaluation per candidate), but not meant for
+    /// per-tuple hot loops.
+    pub fn current_topk(&self) -> Vec<u32> {
+        if self.is_done() {
+            return self.members.clone();
+        }
+        let eligible: Vec<bool> = self.pruned.iter().map(|&p| !p).collect();
+        let taus: Vec<f64> = (0..self.counts.num_candidates())
+            .map(|c| self.counts.tau_total(c, self.cfg.metric, &self.target))
+            .collect();
+        k_smallest_indices(&taus, self.diag.effective_k, &eligible)
+            .into_iter()
+            .map(|i| i as u32)
+            .collect()
+    }
+
     /// The cumulative sample count for a candidate (diagnostics).
     pub fn samples_for(&self, c: u32) -> u64 {
         self.counts.n(c as usize) + self.counts.n_round(c as usize)
@@ -888,6 +910,36 @@ mod tests {
             Demand::Stage1Uniform { remaining } => assert_eq!(remaining, 20),
             other => panic!("unexpected demand {other:?}"),
         }
+    }
+
+    #[test]
+    fn current_topk_tracks_running_estimates() {
+        let mut hs = HistSim::new(tiny_config(), 3, 2, 1000, &[0.5, 0.5]).unwrap();
+        // Before any samples every candidate sits at the metric's upper
+        // limit; ties break by index.
+        assert_eq!(hs.current_topk(), vec![0, 1]);
+        // Candidate 2 balanced (τ ≈ 0), candidate 1 skewed, candidate 0
+        // unseen: the preview must rank 2 first.
+        hs.ingest(2, 0);
+        hs.ingest(2, 1);
+        hs.ingest(1, 0);
+        assert_eq!(hs.current_topk()[0], 2);
+        assert_eq!(hs.current_topk().len(), 2);
+    }
+
+    #[test]
+    fn current_topk_equals_output_once_done() {
+        let mut hs = HistSim::new(tiny_config(), 2, 2, 10, &[0.5, 0.5]).unwrap();
+        for _ in 0..3 {
+            hs.ingest(0, 0);
+            hs.ingest(0, 1);
+        }
+        for _ in 0..4 {
+            hs.ingest(1, 0);
+        }
+        hs.complete_io_phase(true).unwrap();
+        assert!(hs.is_done());
+        assert_eq!(hs.current_topk(), hs.output().unwrap().candidate_ids());
     }
 
     #[test]

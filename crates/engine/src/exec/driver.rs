@@ -34,6 +34,7 @@ pub(crate) struct BlockTouch {
 
 /// The statistics engine shared by all HistSim executors: the state
 /// machine plus consumption tracking and run-stats packaging.
+#[derive(Debug)]
 pub(crate) struct Driver {
     /// The state machine being driven.
     pub hs: HistSim,

@@ -7,8 +7,8 @@
 //! `ParallelMatch` (shard-parallel ingestion over mergeable accumulators).
 //!
 //! All HistSim executors drive the state machine through the shared
-//! [`driver::Driver`]; they differ only in how blocks are selected and
-//! delivered to it.
+//! `driver::Driver` (crate-internal); they differ only in how blocks are
+//! selected and delivered to it.
 
 pub(crate) mod driver;
 mod fast_match;

@@ -187,6 +187,11 @@ impl Executor for ParallelMatchExec {
 /// (rotated by `start` so the seed varies the sample), producing
 /// accumulator batches. Returns the shard's I/O accounting.
 ///
+/// KEEP IN SYNC with `run_quantum` in `service/mod.rs`, which runs the
+/// same walk in resumable bounded quanta for the multi-query service —
+/// a behavioral fix to demand marking or pass bookkeeping here almost
+/// certainly applies there too.
+///
 /// An **empty** shard (possible when a caller shards a reader more ways
 /// than there are blocks) reports exhaustion and exits immediately — it
 /// must never park waiting for an epoch, because with nothing to read no

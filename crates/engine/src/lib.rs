@@ -23,6 +23,12 @@
 //!
 //! All approximate executors provide the same Guarantee 1/2 semantics; they
 //! differ only in how fast they reach HistSim's termination conditions.
+//!
+//! On top of the single-query executors, [`service::QueryService`] serves
+//! **many queries concurrently** over one shared storage backend: a
+//! bounded worker pool multiplexes (query, shard) ingestion quanta, with
+//! per-query progressive results, cooperative cancellation, deadlines and
+//! attributed I/O — see the [`service`] module docs.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -32,6 +38,7 @@ pub mod policy;
 pub mod progress;
 pub mod query;
 pub mod result;
+pub mod service;
 pub mod shared;
 
 pub use exec::{
@@ -39,3 +46,7 @@ pub use exec::{
 };
 pub use query::QueryJob;
 pub use result::{MatchOutput, RunStats};
+pub use service::{
+    GuaranteeState, QueryHandle, QueryOutcome, QueryProgress, QueryRequest, QueryService,
+    ServiceConfig, ServiceError,
+};

@@ -226,9 +226,10 @@ mod tests {
         let t = table();
         let layout = BlockLayout::new(4, 2);
         let idx = BitmapIndex::build(&t, 0, &layout);
-        let path =
-            std::env::temp_dir().join(format!("fastmatch_queryjob_{}.fmb", std::process::id()));
-        let be = FileBackend::create(&path, &t, 2).unwrap();
+        // RAII guard: the block file is removed even if an assertion
+        // below panics first.
+        let scratch = fastmatch_store::tempfile::TempBlockFile::new("queryjob");
+        let be = FileBackend::create(scratch.path(), &t, 2).unwrap();
         let job = QueryJob::from_backend(&be, &idx, 0, 1, vec![0.5, 0.5], HistSimConfig::default());
         assert_eq!(job.num_candidates(), 3);
         assert_eq!(job.num_groups(), 2);
@@ -236,7 +237,6 @@ mod tests {
         let (zs, xs) = r.block_slices(1, 0, 1);
         assert_eq!(zs, &[2, 0]);
         assert_eq!(xs, &[0, 1]);
-        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Service internals: per-query state, shard tasks and the scheduler.
+//!
+//! One admitted query is decomposed into `shards_per_query` *shard
+//! tasks*, each owning a disjoint contiguous block range of the shared
+//! backend (a [`ShardedBlockReader`]) plus its own visited set and pass
+//! cursor. Tasks are the scheduler's unit of work: a bounded worker pool
+//! pops them FIFO, runs one bounded ingestion quantum, and requeues them
+//! at the tail — so concurrent queries interleave at quantum granularity
+//! over one pool instead of each spawning its own threads.
+//!
+//! A task that completes a full pass over its shard without finding a
+//! readable block under the query's current demand snapshot *parks*:
+//! it leaves the ready queue and is only re-enqueued when the query's
+//! demand epoch changes (a sibling shard merged, or the stuck valve
+//! republished). Parking is what keeps fruitless shards from burning
+//! pool capacity that other queries could use.
+//!
+//! Lock order (strict, deadlock-free): a query's engine mutex may be
+//! taken before the scheduler's queue mutex, never after; the handle
+//! mutex ([`super::handle::QueryShared`]) is only taken with neither
+//! held.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use fastmatch_core::error::CoreError;
+use fastmatch_store::io::{IoStats, ShardedBlockReader};
+
+use crate::exec::driver::Driver;
+use crate::query::QueryJob;
+use crate::service::handle::QueryShared;
+use crate::shared::SharedDemand;
+
+/// Why a query stopped making progress (set once, under the engine
+/// mutex; the *last retiring shard* converts it into the published
+/// [`super::QueryOutcome`]).
+#[derive(Debug)]
+pub(crate) enum Verdict {
+    /// HistSim terminated (guarantees met, or exact after exhaustion).
+    Completed,
+    /// Cancelled by the client or by service shutdown.
+    Cancelled,
+    /// The deadline expired before termination.
+    DeadlineExpired,
+    /// The run failed.
+    Failed(CoreError),
+}
+
+/// The mutable heart of one query: the HistSim driver plus aggregated
+/// per-query accounting. Guarded by [`QueryState::engine`].
+#[derive(Debug)]
+pub(crate) struct EngineState {
+    /// The statistics engine; taken (`None`) by the last retiring shard.
+    pub driver: Option<Driver>,
+    /// I/O attributed to this query so far (flushed from shard readers
+    /// at every quantum boundary).
+    pub io: IoStats,
+    /// Shards not yet retired.
+    pub live_shards: usize,
+    /// Consecutive all-parked valve rounds without a merge in between.
+    pub stuck_rounds: u32,
+    /// Terminal reason, once known.
+    pub verdict: Option<Verdict>,
+}
+
+impl EngineState {
+    /// Records the terminal reason if none is set yet (first writer
+    /// wins: a cancel racing a completion must not overwrite it).
+    pub fn set_verdict(&mut self, verdict: Verdict) {
+        if self.verdict.is_none() {
+            self.verdict = Some(verdict);
+        }
+    }
+}
+
+/// Everything the workers share about one admitted query.
+#[derive(Debug)]
+pub(crate) struct QueryState<'a> {
+    /// Service-assigned id.
+    pub id: u64,
+    /// The prepared query (holds the backend + bitmap references).
+    pub job: QueryJob<'a>,
+    /// Demand snapshot published to all of this query's shard tasks —
+    /// the same protocol `ParallelMatch` workers follow.
+    pub demand: SharedDemand,
+    /// Driver + accounting, under the query's engine mutex.
+    pub engine: Mutex<EngineState>,
+    /// Handle-side shared state (`'static`).
+    pub shared: Arc<QueryShared>,
+    /// Absolute deadline, if the request set one.
+    pub deadline: Option<Instant>,
+    /// Mirror of `EngineState::live_shards` readable without the engine
+    /// mutex — the scheduler's all-parked check runs under the *queue*
+    /// mutex, which by the lock order must not take the engine mutex.
+    pub live_shards_hint: AtomicUsize,
+}
+
+impl QueryState<'_> {
+    /// Whether the query is past its deadline.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// One schedulable unit: a shard of one query, with its multi-pass walk
+/// state. Owned by exactly one of {ready queue, parked list, a worker}
+/// at any time, so none of its fields need locks.
+#[derive(Debug)]
+pub(crate) struct ShardTask<'a> {
+    /// The query this shard belongs to.
+    pub query: Arc<QueryState<'a>>,
+    /// Reader over this shard's contiguous block range, with per-shard
+    /// [`IoStats`].
+    pub reader: ShardedBlockReader<'a>,
+    /// Per-local-block visited flags (blocks are never re-read).
+    pub visited: Vec<bool>,
+    /// Number of visited blocks.
+    pub visited_count: usize,
+    /// Seed-derived rotation offset: local block `(start + i) % n` is
+    /// the `i`-th in pass order, so repeated runs draw different samples.
+    pub start: usize,
+    /// Position in rotated pass order (`0..n`); `0` means a new pass is
+    /// about to begin.
+    pub cursor: usize,
+    /// Demand epoch observed when the current pass started.
+    pub pass_epoch: u64,
+    /// Whether the current pass has read at least one block.
+    pub read_this_pass: bool,
+    /// The part of `reader.stats()` already charged to the query.
+    pub flushed: IoStats,
+}
+
+impl<'a> ShardTask<'a> {
+    /// Flushes the reader stats accrued since the last flush into the
+    /// query's aggregate (caller holds the engine mutex).
+    pub fn flush_io(&mut self, eng: &mut EngineState) {
+        let stats = self.reader.stats();
+        eng.io.merge(stats.since(self.flushed));
+        self.flushed = stats;
+    }
+}
+
+/// A parked task. The epoch whose fruitless pass parked it is *not*
+/// kept: `wake_query` wakes a query's parked tasks unconditionally on
+/// any epoch bump, and the park-vs-requeue decision is made once, under
+/// the queue lock, in [`Scheduler::park`].
+#[derive(Debug)]
+struct ParkedTask<'a> {
+    task: ShardTask<'a>,
+}
+
+#[derive(Debug)]
+struct SchedState<'a> {
+    ready: VecDeque<ShardTask<'a>>,
+    parked: Vec<ParkedTask<'a>>,
+    shutdown: bool,
+}
+
+/// The shared FIFO scheduler: one ready queue and one parked list for
+/// the whole service.
+#[derive(Debug)]
+pub(crate) struct Scheduler<'a> {
+    state: Mutex<SchedState<'a>>,
+    cv: Condvar,
+}
+
+impl<'a> Scheduler<'a> {
+    pub fn new() -> Self {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                ready: VecDeque::new(),
+                parked: Vec::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.state.lock().unwrap().shutdown
+    }
+
+    /// Appends a runnable task at the queue tail (FIFO ⇒ quanta of
+    /// different queries round-robin).
+    pub fn enqueue(&self, task: ShardTask<'a>) {
+        let mut s = self.state.lock().unwrap();
+        s.ready.push_back(task);
+        drop(s);
+        self.cv.notify_one();
+    }
+
+    /// Blocks for the next runnable task; `None` once shutdown is
+    /// requested *and* the ready queue has drained (parked tasks are
+    /// moved to ready by [`Self::shutdown`], so nothing is stranded).
+    pub fn pop(&self) -> Option<ShardTask<'a>> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(task) = s.ready.pop_front() {
+                return Some(task);
+            }
+            if s.shutdown {
+                return None;
+            }
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+
+    /// Parks a task whose last full pass found nothing readable under
+    /// demand epoch `pass_epoch`. If the query's epoch has already moved
+    /// on, the task is re-enqueued instead (the wake it would wait for
+    /// already happened — checking under the queue lock closes the
+    /// lost-wakeup window). Returns `true` when, after parking, every
+    /// still-live shard of the query is parked — the caller must then
+    /// run the stuck valve.
+    pub fn park(&self, task: ShardTask<'a>, pass_epoch: u64) -> bool {
+        let query = Arc::clone(&task.query);
+        let mut s = self.state.lock().unwrap();
+        if s.shutdown || query.demand.epoch() != pass_epoch {
+            s.ready.push_back(task);
+            drop(s);
+            self.cv.notify_one();
+            return false;
+        }
+        s.parked.push(ParkedTask { task });
+        let parked = s
+            .parked
+            .iter()
+            .filter(|p| p.task.query.id == query.id)
+            .count();
+        parked >= query.live_shards_hint.load(Ordering::Relaxed)
+    }
+
+    /// Whether every one of the query's `live` still-unretired shards is
+    /// currently parked. Called after a shard retires: the live set
+    /// shrinking can make an existing parked set become "all of them",
+    /// with no parking transition left to notice it (the same stale-tally
+    /// hazard `ParallelMatch` re-checks for on `ShardExhausted`).
+    pub fn all_parked(&self, query_id: u64, live: usize) -> bool {
+        if live == 0 {
+            return false;
+        }
+        let s = self.state.lock().unwrap();
+        s.parked
+            .iter()
+            .filter(|p| p.task.query.id == query_id)
+            .count()
+            >= live
+    }
+
+    /// Moves every parked task of `query_id` back to the ready queue
+    /// (called after a demand republication for that query — any epoch
+    /// bump, merge or valve, wakes the whole query).
+    pub fn wake_query(&self, query_id: u64) {
+        let mut s = self.state.lock().unwrap();
+        let mut woken = 0usize;
+        let mut i = 0;
+        while i < s.parked.len() {
+            if s.parked[i].task.query.id == query_id {
+                let p = s.parked.swap_remove(i);
+                s.ready.push_back(p.task);
+                woken += 1;
+            } else {
+                i += 1;
+            }
+        }
+        drop(s);
+        for _ in 0..woken {
+            self.cv.notify_one();
+        }
+    }
+
+    /// Requests shutdown: every parked task is made runnable (so workers
+    /// retire it as cancelled) and all workers are woken; `pop` returns
+    /// `None` once the ready queue drains.
+    pub fn shutdown(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.shutdown = true;
+        while let Some(p) = s.parked.pop() {
+            s.ready.push_back(p.task);
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+}

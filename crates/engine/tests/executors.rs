@@ -6,16 +6,19 @@
 use fastmatch_core::guarantees::GroundTruth;
 use fastmatch_core::histsim::HistSimConfig;
 use fastmatch_core::Metric;
-use fastmatch_data::gen::{conditional_with_planted, generate_table, ColumnGen, ColumnSpec};
-use fastmatch_data::shapes::uniform;
+use fastmatch_data::gen::{
+    conditional_with_planted, conditional_with_planted_pool, generate_table, ColumnGen, ColumnSpec,
+};
+use fastmatch_data::shapes::{far_pool, uniform};
 use fastmatch_engine::exec::{
     Executor, FastMatchExec, ParallelMatchExec, ScanExec, ScanMatchExec, SyncMatchExec,
 };
 use fastmatch_engine::query::QueryJob;
-use fastmatch_store::backend::StorageBackend;
+use fastmatch_store::backend::{MemBackend, StorageBackend};
 use fastmatch_store::bitmap::BitmapIndex;
 use fastmatch_store::block::BlockLayout;
 use fastmatch_store::table::Table;
+use fastmatch_store::tempfile::TempBlockFile;
 
 /// A 60-candidate dataset with 5 planted near-uniform candidates.
 ///
@@ -256,59 +259,138 @@ fn shard_count_does_not_change_correctness() {
     }
 }
 
-/// All five executors over the file-backed storage backend must produce
-/// matched sets identical to their in-memory runs: the backend changes
-/// where bytes come from, never the answer.
-#[test]
-fn file_backend_matches_memory_for_all_executors() {
-    let rows = 150_000;
-    let seed = 19u64;
-    let table = test_table(rows, seed);
-    let layout = BlockLayout::new(table.n_rows(), 64);
-    let bitmap = BitmapIndex::build(&table, 0, &layout);
-    let path = std::env::temp_dir().join(format!("fastmatch_exec_file_{}.fmb", std::process::id()));
-    // A cache far smaller than the ~2300 blocks forces real disk reads
-    // with eviction churn during the runs.
-    let backend = fastmatch_store::file::FileBackend::create(&path, &table, 64)
-        .unwrap()
-        .with_cache_blocks(128);
-
-    let execs: Vec<Box<dyn Executor>> = vec![
-        Box::new(ScanExec),
-        Box::new(ScanMatchExec),
-        Box::new(SyncMatchExec),
-        Box::new(FastMatchExec::with_lookahead(64)),
-        Box::new(ParallelMatchExec::with_shards(4)),
+/// The second matrix dataset: 48 candidates with four planted members
+/// and a far background pool — different cardinality, plant structure
+/// and Zipf skew than [`test_table`].
+fn pool_table(rows: usize, seed: u64) -> Table {
+    let dists = conditional_with_planted_pool(
+        48,
+        &uniform(8),
+        &[(0, 0.0), (4, 0.03), (9, 0.05), (17, 0.07)],
+        &far_pool(8),
+        0.2,
+        seed ^ 0x51,
+    );
+    let specs = vec![
+        ColumnSpec::new("z", 48, ColumnGen::PrimaryZipf { s: 1.1 }),
+        ColumnSpec::new("x", 8, ColumnGen::Conditional { parent: 0, dists }),
     ];
-    for e in execs {
-        let mem_job = QueryJob::new(&table, layout, &bitmap, 0, 1, uniform(8), config());
-        let file_job = QueryJob::from_backend(&backend, &bitmap, 0, 1, uniform(8), config());
-        let mem = e
-            .run(&mem_job, seed)
-            .unwrap_or_else(|_| panic!("{} (mem)", e.name()));
-        let file = e
-            .run(&file_job, seed)
-            .unwrap_or_else(|_| panic!("{} (file)", e.name()));
-        let mut mem_ids = mem.candidate_ids();
-        let mut file_ids = file.candidate_ids();
-        mem_ids.sort_unstable();
-        file_ids.sort_unstable();
-        assert_eq!(
-            file_ids,
-            mem_ids,
-            "{}: file-backed matched set diverged",
-            e.name()
-        );
-        assert!(
-            file.stats.io.blocks_read > 0,
-            "{}: file run read no blocks",
-            e.name()
-        );
+    generate_table(&specs, rows, seed)
+}
+
+/// The executor-equivalence matrix: all five executors × both storage
+/// backends × two datasets × two block layouts. On the planted fixtures
+/// the correct matched set is unambiguous, so every cell must return the
+/// *identical* matched set and reach the same guarantee level — which
+/// covers every future executor or backend addition by construction (new
+/// rows/columns drop into the same loops).
+#[test]
+fn executor_backend_dataset_layout_matrix() {
+    struct Dataset {
+        name: &'static str,
+        table: Table,
+        candidates: usize,
+        cfg: HistSimConfig,
     }
-    let cs = backend.cache_stats();
-    assert!(cs.misses > 0, "runs never touched the disk");
-    assert!(cs.evictions > 0, "bounded cache never evicted");
-    std::fs::remove_file(&path).unwrap();
+    let rows = 100_000;
+    let datasets = [
+        Dataset {
+            name: "planted60",
+            table: test_table(rows, 19),
+            candidates: 60,
+            cfg: config(),
+        },
+        Dataset {
+            name: "pool48",
+            table: pool_table(rows, 19),
+            candidates: 48,
+            cfg: HistSimConfig {
+                k: 4,
+                epsilon: 0.1,
+                delta: 0.05,
+                sigma: 0.001,
+                stage1_samples: 15_000,
+                ..HistSimConfig::default()
+            },
+        },
+    ];
+    let executors = || -> Vec<Box<dyn Executor>> {
+        vec![
+            Box::new(ScanExec),
+            Box::new(ScanMatchExec),
+            Box::new(SyncMatchExec),
+            Box::new(FastMatchExec::with_lookahead(64)),
+            Box::new(ParallelMatchExec::with_shards(4)),
+        ]
+    };
+    for ds in &datasets {
+        let gt = GroundTruth::from_tuples(
+            ds.table
+                .column(0)
+                .iter()
+                .zip(ds.table.column(1))
+                .map(|(&z, &x)| (z, x)),
+            ds.candidates,
+            8,
+            uniform(8),
+            Metric::L1,
+        );
+        let mut truth = gt.true_topk(ds.cfg.k, ds.cfg.sigma);
+        truth.sort_unstable();
+        for tuples_per_block in [64usize, 150] {
+            let layout = BlockLayout::new(ds.table.n_rows(), tuples_per_block);
+            let bitmap = BitmapIndex::build(&ds.table, 0, &layout);
+            // A cache far below the block count forces real disk reads
+            // with eviction churn in the file column of the matrix.
+            let scratch = TempBlockFile::new("exec_matrix");
+            let file_backend = fastmatch_store::file::FileBackend::create(
+                scratch.path(),
+                &ds.table,
+                tuples_per_block,
+            )
+            .unwrap()
+            .with_cache_blocks(128);
+            let mem_backend = MemBackend::new(&ds.table, layout);
+            let backends: [(&str, &dyn StorageBackend); 2] =
+                [("mem", &mem_backend), ("file", &file_backend)];
+            for (backend_name, backend) in backends {
+                for e in executors() {
+                    let cell = format!(
+                        "{} × {} × tpb{} × {}",
+                        e.name(),
+                        backend_name,
+                        tuples_per_block,
+                        ds.name
+                    );
+                    let job =
+                        QueryJob::from_backend(backend, &bitmap, 0, 1, uniform(8), ds.cfg.clone());
+                    let out = e
+                        .run(&job, 19)
+                        .unwrap_or_else(|err| panic!("{cell}: {err}"));
+                    let mut ids = out.candidate_ids();
+                    ids.sort_unstable();
+                    assert_eq!(ids, truth, "{cell}: matched set diverged");
+                    // Same guarantee level everywhere: both guarantees
+                    // certified (trivially so for the exact cells).
+                    assert!(
+                        gt.check_separation(&out.candidate_ids(), ds.cfg.epsilon, ds.cfg.sigma),
+                        "{cell}: separation violated"
+                    );
+                    assert!(
+                        gt.check_reconstruction(&out.output.matches, ds.cfg.epsilon),
+                        "{cell}: reconstruction violated"
+                    );
+                    if e.name() == "Scan" {
+                        assert!(out.stats.exact_finish, "{cell}: Scan must be exact");
+                    }
+                    assert!(out.stats.io.blocks_read > 0, "{cell}: no blocks read");
+                }
+            }
+            let cs = file_backend.cache_stats();
+            assert!(cs.misses > 0, "file cells never touched the disk");
+            assert!(cs.evictions > 0, "bounded cache never evicted");
+        }
+    }
 }
 
 /// Tiny tables: 0 blocks (empty) must error out cleanly, and 1 or
@@ -391,15 +473,15 @@ fn oversharded_reader_yields_empty_shards() {
 #[test]
 fn corrupt_page_fails_all_executors_with_storage_error() {
     let table = test_table(20_000, 5);
-    let path =
-        std::env::temp_dir().join(format!("fastmatch_exec_corrupt_{}.fmb", std::process::id()));
-    fastmatch_store::file::write_table(&path, &table, 64).unwrap();
+    let scratch = TempBlockFile::new("exec_corrupt");
+    let path = scratch.path();
+    fastmatch_store::file::write_table(path, &table, 64).unwrap();
     // Damage one byte in the middle of the page region.
-    let mut bytes = std::fs::read(&path).unwrap();
+    let mut bytes = std::fs::read(path).unwrap();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x40;
-    std::fs::write(&path, &bytes).unwrap();
-    let backend = fastmatch_store::file::FileBackend::open(&path).unwrap();
+    std::fs::write(path, &bytes).unwrap();
+    let backend = fastmatch_store::file::FileBackend::open(path).unwrap();
     let bitmap = BitmapIndex::build(&table, 0, &backend.layout());
     let execs: Vec<Box<dyn Executor>> = vec![
         Box::new(ScanExec),
@@ -420,7 +502,6 @@ fn corrupt_page_fails_all_executors_with_storage_error() {
             Ok(_) => panic!("{}: run over a corrupt file succeeded", e.name()),
         }
     }
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]

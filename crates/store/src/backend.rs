@@ -14,6 +14,23 @@ use crate::error::Result;
 use crate::schema::Schema;
 use crate::table::Table;
 
+/// Where a page read was served from — the attribution a backend reports
+/// per read so shared-cache behavior can be charged to the reader (and,
+/// through [`crate::io::IoStats`], to the query) that caused it.
+///
+/// `Memory` is for backends with no cache tier at all (the in-memory
+/// table view): such reads are neither hits nor misses and are not
+/// counted toward cache accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageOrigin {
+    /// Served directly from an in-memory representation (no cache tier).
+    Memory,
+    /// Served from the backend's block cache.
+    CacheHit,
+    /// Fetched from the underlying medium (disk, network, …).
+    CacheMiss,
+}
+
 /// A source of table blocks: schema + block geometry + a fallible
 /// block-page read primitive.
 ///
@@ -28,11 +45,13 @@ pub trait StorageBackend: Sync + std::fmt::Debug {
 
     /// Reads the codes of attribute `attr` in block `b` into `out`
     /// (cleared first). On success `out` holds exactly
-    /// `layout().block_len(b)` codes.
-    fn read_block_into(&self, b: usize, attr: usize, out: &mut Vec<u32>) -> Result<()>;
+    /// `layout().block_len(b)` codes, and the returned [`PageOrigin`]
+    /// says where the page came from (cache attribution).
+    fn read_block_into(&self, b: usize, attr: usize, out: &mut Vec<u32>) -> Result<PageOrigin>;
 
     /// Reads the aligned code pages of two attributes of block `b` — the
-    /// shape every histogram-matching executor consumes.
+    /// shape every histogram-matching executor consumes. Returns the
+    /// per-page origins `[z page, x page]`.
     fn read_block_pair_into(
         &self,
         b: usize,
@@ -40,9 +59,10 @@ pub trait StorageBackend: Sync + std::fmt::Debug {
         x_attr: usize,
         zs: &mut Vec<u32>,
         xs: &mut Vec<u32>,
-    ) -> Result<()> {
-        self.read_block_into(b, z_attr, zs)?;
-        self.read_block_into(b, x_attr, xs)
+    ) -> Result<[PageOrigin; 2]> {
+        let oz = self.read_block_into(b, z_attr, zs)?;
+        let ox = self.read_block_into(b, x_attr, xs)?;
+        Ok([oz, ox])
     }
 
     /// Number of rows stored.
@@ -93,11 +113,11 @@ impl StorageBackend for MemBackend<'_> {
         self.layout
     }
 
-    fn read_block_into(&self, b: usize, attr: usize, out: &mut Vec<u32>) -> Result<()> {
+    fn read_block_into(&self, b: usize, attr: usize, out: &mut Vec<u32>) -> Result<PageOrigin> {
         let range = self.layout.rows_of_block(b);
         out.clear();
         out.extend_from_slice(&self.table.column(attr)[range]);
-        Ok(())
+        Ok(PageOrigin::Memory)
     }
 }
 

@@ -3,7 +3,7 @@
 //! Plain bitmap indexes answer "does block `b` contain value `v`?" but not
 //! "how many tuples?". For candidates defined by *boolean predicates* over
 //! several attributes, FastMatch needs per-block count estimates; the
-//! paper defers to the density maps of [48] (NeedleTail). A density map is
+//! paper defers to the density maps of \[48\] (NeedleTail). A density map is
 //! simply the per-block histogram of an attribute; estimates for compound
 //! predicates combine per-attribute counts conservatively.
 

@@ -44,7 +44,7 @@ use std::sync::Mutex;
 #[cfg(not(unix))]
 use std::io::{Seek, SeekFrom};
 
-use crate::backend::StorageBackend;
+use crate::backend::{PageOrigin, StorageBackend};
 use crate::block::BlockLayout;
 use crate::error::{Result, StoreError};
 use crate::schema::{AttrDef, Schema};
@@ -144,6 +144,36 @@ pub struct CacheStats {
     pub misses: u64,
     /// Pages evicted to make room.
     pub evictions: u64,
+    /// Cache-pressure events: second chances revoked by the clock hand
+    /// (a *referenced* — i.e. recently re-used — page had its reference
+    /// bit stripped to make eviction possible). Zero while the working
+    /// set fits; grows with every sweep once concurrent readers push the
+    /// combined working set past capacity, which makes it the leading
+    /// indicator of hit-rate collapse under multi-query load.
+    pub pressure: u64,
+}
+
+impl CacheStats {
+    /// Global hit rate (1.0 before any request).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The per-field difference `self − earlier` (both monotone), for
+    /// windowed measurements over a long-lived backend.
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            pressure: self.pressure - earlier.pressure,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -161,12 +191,22 @@ struct CacheShard {
     cap: usize,
 }
 
+/// What one [`CacheShard::insert`] did, for the shared counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct InsertOutcome {
+    /// A page was evicted to make room.
+    evicted: bool,
+    /// Reference bits the clock hand had to strip before finding a
+    /// victim (cache-pressure events).
+    second_chances_revoked: u64,
+}
+
 impl CacheShard {
-    /// Inserts a page, clock-evicting if the shard is full. Returns
-    /// whether an eviction happened.
-    fn insert(&mut self, key: u64, page: Vec<u32>) -> bool {
+    /// Inserts a page, clock-evicting if the shard is full.
+    fn insert(&mut self, key: u64, page: Vec<u32>) -> InsertOutcome {
+        let mut outcome = InsertOutcome::default();
         if self.cap == 0 {
-            return false;
+            return outcome;
         }
         if self.slots.len() < self.cap {
             self.map.insert(key, self.slots.len());
@@ -175,12 +215,13 @@ impl CacheShard {
                 page,
                 referenced: true,
             });
-            return false;
+            return outcome;
         }
         loop {
             let victim = &mut self.slots[self.hand];
             if victim.referenced {
                 victim.referenced = false;
+                outcome.second_chances_revoked += 1;
                 self.hand = (self.hand + 1) % self.cap;
             } else {
                 self.map.remove(&victim.key);
@@ -191,7 +232,8 @@ impl CacheShard {
                     referenced: true,
                 };
                 self.hand = (self.hand + 1) % self.cap;
-                return true;
+                outcome.evicted = true;
+                return outcome;
             }
         }
     }
@@ -204,6 +246,7 @@ struct BlockCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    pressure: AtomicU64,
 }
 
 impl BlockCache {
@@ -228,17 +271,19 @@ impl BlockCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            pressure: AtomicU64::new(0),
         }
     }
 
     /// Copies the cached page for `key` into `dest`, or loads it with
     /// `load`, caches a copy, and leaves the loaded page in `dest`.
+    /// Returns whether the request was served from the cache.
     fn get_or_load(
         &self,
         key: u64,
         dest: &mut Vec<u32>,
         load: impl FnOnce(&mut Vec<u32>) -> Result<()>,
-    ) -> Result<()> {
+    ) -> Result<bool> {
         // Consecutive block ids land in different shards, so the engine's
         // contiguous-range shard workers spread over all locks.
         let shard = &self.shards[(key % CACHE_SHARDS as u64) as usize];
@@ -250,7 +295,7 @@ impl BlockCache {
                 dest.clear();
                 dest.extend_from_slice(&slot.page);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(());
+                return Ok(true);
             }
         }
         // Load with the shard lock RELEASED: misses on different pages
@@ -260,10 +305,18 @@ impl BlockCache {
         load(dest)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut guard = shard.lock().unwrap();
-        if !guard.map.contains_key(&key) && guard.insert(key, dest.clone()) {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+        if !guard.map.contains_key(&key) {
+            let outcome = guard.insert(key, dest.clone());
+            drop(guard);
+            if outcome.evicted {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            if outcome.second_chances_revoked > 0 {
+                self.pressure
+                    .fetch_add(outcome.second_chances_revoked, Ordering::Relaxed);
+            }
         }
-        Ok(())
+        Ok(false)
     }
 
     fn stats(&self) -> CacheStats {
@@ -271,6 +324,7 @@ impl BlockCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            pressure: self.pressure.load(Ordering::Relaxed),
         }
     }
 }
@@ -473,12 +527,18 @@ impl StorageBackend for FileBackend {
         self.layout
     }
 
-    fn read_block_into(&self, b: usize, attr: usize, out: &mut Vec<u32>) -> Result<()> {
+    fn read_block_into(&self, b: usize, attr: usize, out: &mut Vec<u32>) -> Result<PageOrigin> {
         assert!(attr < self.schema.len(), "attribute {attr} out of range");
         assert!(b < self.layout.num_blocks(), "block {b} out of range");
         let key = ((attr as u64) << 32) | b as u64;
-        self.cache
-            .get_or_load(key, out, |dest| self.load_page(attr, b, dest))
+        let hit = self
+            .cache
+            .get_or_load(key, out, |dest| self.load_page(attr, b, dest))?;
+        Ok(if hit {
+            PageOrigin::CacheHit
+        } else {
+            PageOrigin::CacheMiss
+        })
     }
 }
 

@@ -7,7 +7,7 @@
 //! relative cost of I/O versus decision-making can be studied on fast
 //! in-memory data) or a real backend such as
 //! [`crate::file::FileBackend`], where block reads are disk reads through
-//! a bounded cache and can fail ([`Self::try_block_slices`]).
+//! a bounded cache and can fail ([`BlockReader::try_block_slices`]).
 //!
 //! For multi-core executors, [`BlockReader::shard`] splits the block
 //! sequence into `n` disjoint contiguous ranges, each served by its own
@@ -16,12 +16,18 @@
 
 use std::ops::Range;
 
-use crate::backend::StorageBackend;
+use crate::backend::{PageOrigin, StorageBackend};
 use crate::block::BlockLayout;
 use crate::error::Result;
 use crate::table::Table;
 
-/// I/O accounting: how much data a run touched.
+/// I/O accounting: how much data a run touched, and — when the source is
+/// a cached backend — how the shared cache treated this reader's pages.
+///
+/// The cache fields attribute *shared*-cache behavior to the reader that
+/// experienced it: two queries hammering one [`crate::file::FileBackend`]
+/// each see their own hit/miss split even though the cache itself only
+/// keeps global counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
     /// Blocks fully read.
@@ -30,6 +36,10 @@ pub struct IoStats {
     pub blocks_skipped: u64,
     /// Tuples delivered to the consumer.
     pub tuples_read: u64,
+    /// Attribute pages this reader got from the backend's cache.
+    pub pages_cache_hit: u64,
+    /// Attribute pages this reader's requests fetched from the medium.
+    pub pages_cache_miss: u64,
 }
 
 impl IoStats {
@@ -44,11 +54,49 @@ impl IoStats {
         }
     }
 
+    /// This reader's cache hit rate (1.0 when no cached backend was
+    /// involved — an uncached source never misses).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.pages_cache_hit + self.pages_cache_miss;
+        if total == 0 {
+            1.0
+        } else {
+            self.pages_cache_hit as f64 / total as f64
+        }
+    }
+
     /// Folds another accounting record into this one (shard aggregation).
     pub fn merge(&mut self, other: IoStats) {
         self.blocks_read += other.blocks_read;
         self.blocks_skipped += other.blocks_skipped;
         self.tuples_read += other.tuples_read;
+        self.pages_cache_hit += other.pages_cache_hit;
+        self.pages_cache_miss += other.pages_cache_miss;
+    }
+
+    /// The per-field difference `self − other`; `other` must be an
+    /// earlier snapshot of the same accounting stream (every counter
+    /// monotone ≤ `self`'s). Used to charge one scheduling quantum's I/O
+    /// to its query without zeroing the underlying reader.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if any field of `other` exceeds `self`'s.
+    pub fn since(&self, other: IoStats) -> IoStats {
+        debug_assert!(
+            self.blocks_read >= other.blocks_read
+                && self.blocks_skipped >= other.blocks_skipped
+                && self.tuples_read >= other.tuples_read
+                && self.pages_cache_hit >= other.pages_cache_hit
+                && self.pages_cache_miss >= other.pages_cache_miss,
+            "IoStats::since with a later snapshot"
+        );
+        IoStats {
+            blocks_read: self.blocks_read - other.blocks_read,
+            blocks_skipped: self.blocks_skipped - other.blocks_skipped,
+            tuples_read: self.tuples_read - other.tuples_read,
+            pages_cache_hit: self.pages_cache_hit - other.pages_cache_hit,
+            pages_cache_miss: self.pages_cache_miss - other.pages_cache_miss,
+        }
     }
 }
 
@@ -201,7 +249,20 @@ impl<'a> BlockReader<'a> {
                 Ok((z, x))
             }
             Source::Backend(backend) => {
-                backend.read_block_pair_into(b, z_attr, x_attr, &mut self.zbuf, &mut self.xbuf)?;
+                let origins = backend.read_block_pair_into(
+                    b,
+                    z_attr,
+                    x_attr,
+                    &mut self.zbuf,
+                    &mut self.xbuf,
+                )?;
+                for origin in origins {
+                    match origin {
+                        PageOrigin::CacheHit => self.stats.pages_cache_hit += 1,
+                        PageOrigin::CacheMiss => self.stats.pages_cache_miss += 1,
+                        PageOrigin::Memory => {}
+                    }
+                }
                 self.stats.blocks_read += 1;
                 self.stats.tuples_read += self.zbuf.len() as u64;
                 Ok((&self.zbuf, &self.xbuf))

@@ -42,8 +42,9 @@ pub mod predicate;
 pub mod schema;
 pub mod shuffle;
 pub mod table;
+pub mod tempfile;
 
-pub use backend::{MemBackend, StorageBackend};
+pub use backend::{MemBackend, PageOrigin, StorageBackend};
 pub use binning::Binner;
 pub use bitmap::BitmapIndex;
 pub use block::BlockLayout;
@@ -54,3 +55,4 @@ pub use io::{BlockReader, IoStats, ShardedBlockReader};
 pub use predicate::Predicate;
 pub use schema::{AttrDef, Schema};
 pub use table::Table;
+pub use tempfile::TempBlockFile;

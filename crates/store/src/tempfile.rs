@@ -1,0 +1,90 @@
+//! Self-deleting scratch paths for block files.
+//!
+//! Tests, benches and examples that exercise [`crate::file::FileBackend`]
+//! need a unique path under the system temp directory and must remove the
+//! file afterwards — including when an assertion panics halfway through,
+//! where a trailing `remove_file` would never run and the file would leak
+//! into `$TMPDIR`. [`TempBlockFile`] is the RAII form of that pattern:
+//! the path is unique per (process, instance), and the file (if any) is
+//! removed on drop, panic or not.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-process uniquifier so concurrent tests in one binary never collide.
+static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// A unique scratch path in the system temp directory whose file is
+/// removed when the guard is dropped (even on panic). The guard does not
+/// create the file; whoever writes it (e.g.
+/// [`crate::file::write_table`]) does.
+#[derive(Debug)]
+pub struct TempBlockFile {
+    path: PathBuf,
+}
+
+impl TempBlockFile {
+    /// Creates a guard for `{temp_dir}/fastmatch_{tag}_{pid}_{n}.fmb`.
+    pub fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "fastmatch_{tag}_{}_{}.fmb",
+            std::process::id(),
+            NEXT_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        TempBlockFile { path }
+    }
+
+    /// The guarded path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempBlockFile {
+    fn drop(&mut self) {
+        // Best-effort: the file may legitimately not exist (nothing was
+        // written, or a test removed it itself).
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_are_unique() {
+        let a = TempBlockFile::new("uniq");
+        let b = TempBlockFile::new("uniq");
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn drop_removes_the_file() {
+        let path = {
+            let guard = TempBlockFile::new("dropped");
+            std::fs::write(guard.path(), b"scratch").unwrap();
+            assert!(guard.path().exists());
+            guard.path().to_path_buf()
+        };
+        assert!(!path.exists(), "guard must remove the file on drop");
+    }
+
+    #[test]
+    fn drop_tolerates_missing_files() {
+        let guard = TempBlockFile::new("never_written");
+        drop(guard); // must not panic
+    }
+
+    #[test]
+    fn drop_removes_on_panic_too() {
+        let path = TempBlockFile::new("panicking");
+        let p = path.path().to_path_buf();
+        let result = std::panic::catch_unwind(move || {
+            std::fs::write(path.path(), b"x").unwrap();
+            panic!("assertion failure mid-test");
+        });
+        assert!(result.is_err());
+        assert!(!p.exists(), "file must be gone after the panic unwound");
+    }
+}

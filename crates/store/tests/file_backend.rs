@@ -115,7 +115,7 @@ proptest! {
         for a in 0..2 {
             for b in 0..layout.num_blocks() {
                 match be.read_block_into(b, a, &mut buf) {
-                    Ok(()) => prop_assert_eq!(
+                    Ok(_) => prop_assert_eq!(
                         buf.as_slice(),
                         &table.column(a)[layout.rows_of_block(b)],
                         "undamaged page must read back exactly"

@@ -1,0 +1,108 @@
+//! Property tests for [`BlockReader::shard`]: the shards of a reader
+//! must partition the block range *exactly* — disjoint, exhaustive,
+//! contiguous, balanced — for arbitrary `(n_blocks, n_shards)`, and
+//! per-shard [`IoStats`] must aggregate to precisely the unsharded run's
+//! accounting. Every parallel executor and the multi-query service lean
+//! on both properties.
+
+use proptest::prelude::*;
+
+use fastmatch_store::block::BlockLayout;
+use fastmatch_store::io::{BlockReader, IoStats};
+use fastmatch_store::schema::{AttrDef, Schema};
+use fastmatch_store::table::Table;
+
+/// A two-attribute table with exactly `n_blocks` blocks of up to `tpb`
+/// tuples (the last block short when `short_tail` trims it).
+fn table_with_blocks(n_blocks: usize, tpb: usize, short_tail: usize) -> (Table, BlockLayout) {
+    let rows = if n_blocks == 0 {
+        0
+    } else {
+        n_blocks * tpb - short_tail.min(tpb - 1)
+    };
+    let schema = Schema::new(vec![AttrDef::new("z", 5), AttrDef::new("x", 3)]);
+    let z: Vec<u32> = (0..rows as u32).map(|r| r.wrapping_mul(7) % 5).collect();
+    let x: Vec<u32> = (0..rows as u32).map(|r| r.wrapping_mul(11) % 3).collect();
+    (Table::new(schema, vec![z, x]), BlockLayout::new(rows, tpb))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Disjoint, exhaustive, contiguous, sizes differing by at most one
+    /// — for any block count (including 0) and any shard count
+    /// (including more shards than blocks).
+    #[test]
+    fn shards_partition_block_range_exactly(
+        n_blocks in 0usize..300,
+        n_shards in 1usize..40,
+        tpb in 1usize..20,
+    ) {
+        let (table, layout) = table_with_blocks(n_blocks, tpb, 0);
+        prop_assert_eq!(layout.num_blocks(), n_blocks);
+        let reader = BlockReader::new(&table, layout);
+        let mut covered = vec![false; n_blocks];
+        let mut prev_end = 0usize;
+        let mut sizes = Vec::with_capacity(n_shards);
+        for i in 0..n_shards {
+            let shard = reader.shard(i, n_shards);
+            let range = shard.blocks();
+            prop_assert_eq!(
+                range.start, prev_end,
+                "shard {}/{} is not contiguous with its predecessor", i, n_shards
+            );
+            prev_end = range.end;
+            sizes.push(range.len());
+            for b in range {
+                prop_assert!(!covered[b], "block {} covered twice", b);
+                covered[b] = true;
+            }
+        }
+        prop_assert_eq!(prev_end, n_blocks, "shards must exhaust the range");
+        prop_assert!(covered.into_iter().all(|c| c), "every block must be covered");
+        let max = sizes.iter().max().copied().unwrap_or(0);
+        let min = sizes.iter().min().copied().unwrap_or(0);
+        prop_assert!(max - min <= 1, "sizes {:?} differ by more than one", sizes);
+    }
+
+    /// Reading every block through its owning shard (and skipping an
+    /// arbitrary subset) must aggregate, shard by shard, to exactly the
+    /// unsharded reader's stats for the same read/skip pattern.
+    #[test]
+    fn summed_shard_stats_equal_unsharded_run(
+        n_blocks in 1usize..120,
+        n_shards in 1usize..12,
+        tpb in 1usize..12,
+        short_tail in 0usize..8,
+        skip_mask in 0u64..u64::MAX,
+    ) {
+        let (table, layout) = table_with_blocks(n_blocks, tpb, short_tail);
+        let reader = BlockReader::new(&table, layout);
+        let skip = |b: usize| (skip_mask >> (b % 64)) & 1 == 1;
+
+        // Unsharded reference.
+        let mut whole = BlockReader::new(&table, layout);
+        for b in 0..layout.num_blocks() {
+            if skip(b) {
+                whole.skip_block(b);
+            } else {
+                whole.block_slices(b, 0, 1);
+            }
+        }
+
+        // Sharded: same pattern, each block through its owning shard.
+        let mut total = IoStats::default();
+        for i in 0..n_shards {
+            let mut shard = reader.shard(i, n_shards);
+            for b in shard.blocks() {
+                if skip(b) {
+                    shard.skip_block(b);
+                } else {
+                    shard.block_slices(b, 0, 1);
+                }
+            }
+            total.merge(shard.stats());
+        }
+        prop_assert_eq!(total, whole.stats());
+    }
+}

@@ -14,7 +14,10 @@
 //! * [`data`] (`fastmatch-data`) — synthetic evaluation datasets and the
 //!   Table 3 query workload;
 //! * [`engine`] (`fastmatch-engine`) — the `Scan` / `ScanMatch` /
-//!   `SyncMatch` / `FastMatch` / `ParallelMatch` executors.
+//!   `SyncMatch` / `FastMatch` / `ParallelMatch` executors, plus the
+//!   multi-query `QueryService` scheduler (many concurrent queries over
+//!   one shared backend, with progressive results, cancellation and
+//!   deadlines).
 //!
 //! ## Quickstart
 //!
@@ -62,7 +65,12 @@ pub mod prelude {
     };
     pub use fastmatch_engine::query::QueryJob;
     pub use fastmatch_engine::result::MatchOutput;
+    pub use fastmatch_engine::service::{
+        GuaranteeState, QueryHandle, QueryOutcome, QueryProgress, QueryRequest, QueryService,
+        ServiceConfig, ServiceError,
+    };
     pub use fastmatch_store::{
         BitmapIndex, BlockLayout, FileBackend, MemBackend, StorageBackend, StoreError, Table,
+        TempBlockFile,
     };
 }

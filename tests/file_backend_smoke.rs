@@ -40,8 +40,10 @@ fn parallel_match_over_files_agrees_with_sync_match() {
         ..HistSimConfig::default()
     };
 
-    let path = std::env::temp_dir().join(format!("fastmatch_smoke_{}.fmb", std::process::id()));
-    let backend = FileBackend::create(&path, &table, 150)
+    // RAII guard: the block file is removed even when an assertion
+    // panics before the end of the test.
+    let scratch = TempBlockFile::new("smoke");
+    let backend = FileBackend::create(scratch.path(), &table, 150)
         .expect("persisting the dataset failed")
         .with_cache_blocks(64);
 
@@ -66,5 +68,4 @@ fn parallel_match_over_files_agrees_with_sync_match() {
         backend.cache_stats().misses > 0,
         "the run must have performed real file reads"
     );
-    std::fs::remove_file(&path).unwrap();
 }
