@@ -23,7 +23,7 @@
 /// tuples in any order, across any number of accumulators that are then
 /// merged, produces the same deltas — the algebraic property the parallel
 /// executor's shard workers rely on.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct HistAccumulator {
     groups: usize,
     /// Dense per-(candidate, group) deltas, `candidate * groups + g`.
@@ -32,8 +32,36 @@ pub struct HistAccumulator {
     n: Vec<u64>,
     /// Candidates with `n > 0`, in first-touch order.
     touched: Vec<u32>,
+    /// Epoch stamps backing the touched list: candidate `c` is touched
+    /// iff `stamp[c] == epoch`. A [`Self::clear`] invalidates every
+    /// stamp by bumping the epoch (O(1)), and the batch kernel's inner
+    /// loop tests a stamp instead of branching on `n[c] == 0` — the
+    /// stamp is written exactly once per (candidate, batch) while `n`
+    /// is written per tuple, which keeps the first-touch check off the
+    /// increment dependency chain.
+    stamp: Vec<u32>,
+    /// Current stamp generation (never 0 for an untouched slot's value).
+    epoch: u32,
     /// Total tuples accumulated.
     tuples: u64,
+}
+
+/// Manual `Debug` over the *logical* state only. The `stamp`/`epoch`
+/// bookkeeping is an implementation detail of `clear()` whose values
+/// depend on how often an accumulator was reused — including it would
+/// break the byte-identical `Debug`-repr equivalence the shard-merge
+/// property tests assert between differently-driven but logically equal
+/// states.
+impl std::fmt::Debug for HistAccumulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistAccumulator")
+            .field("groups", &self.groups)
+            .field("counts", &self.counts)
+            .field("n", &self.n)
+            .field("touched", &self.touched)
+            .field("tuples", &self.tuples)
+            .finish()
+    }
 }
 
 impl HistAccumulator {
@@ -46,6 +74,8 @@ impl HistAccumulator {
             counts: vec![0; num_candidates * groups],
             n: vec![0; num_candidates],
             touched: Vec::new(),
+            stamp: vec![0; num_candidates],
+            epoch: 1,
             tuples: 0,
         }
     }
@@ -86,6 +116,17 @@ impl HistAccumulator {
         self.n[candidate]
     }
 
+    /// Marks candidate `c` touched if it is not already (first-touch
+    /// bookkeeping shared by every accumulation path).
+    #[inline]
+    fn touch(&mut self, c: u32) {
+        let s = &mut self.stamp[c as usize];
+        if *s != self.epoch {
+            *s = self.epoch;
+            self.touched.push(c);
+        }
+    }
+
     /// Accumulates one tuple: candidate `c` observed with group `g`.
     ///
     /// # Panics
@@ -94,25 +135,56 @@ impl HistAccumulator {
     pub fn accumulate_one(&mut self, c: u32, g: u32) {
         let ci = c as usize;
         let gi = g as usize;
+        assert!(ci < self.n.len(), "candidate {c} out of domain");
         assert!(gi < self.groups, "group {g} out of domain");
-        if self.n[ci] == 0 {
-            self.touched.push(c);
-        }
+        self.touch(c);
         self.counts[ci * self.groups + gi] += 1;
         self.n[ci] += 1;
         self.tuples += 1;
     }
 
     /// Accumulates one block's worth of samples: `zs[i]`/`xs[i]` are the
-    /// candidate and group codes of the i-th tuple.
+    /// candidate and group codes of the i-th tuple. Equivalent to calling
+    /// [`Self::accumulate_one`] per tuple, but implemented as the batched
+    /// ingestion kernel: the whole batch is bounds-checked against the
+    /// domain **once** (a branch-free max-fold), after which the fused
+    /// inner loop runs without per-tuple asserts, with the first-touch
+    /// check reduced to an epoch-stamp compare.
     ///
     /// # Panics
     /// Panics on length mismatch or out-of-domain codes.
     pub fn accumulate(&mut self, zs: &[u32], xs: &[u32]) {
         assert_eq!(zs.len(), xs.len(), "column slices must align");
-        for (&c, &g) in zs.iter().zip(xs) {
-            self.accumulate_one(c, g);
+        if zs.is_empty() {
+            return;
         }
+        // Validate once: fold both columns to their maxima, so the hot
+        // loop below never takes (and the optimizer can hoist) a domain
+        // check. The panic message names the offending code, matching
+        // the per-tuple contract.
+        let max_c = zs.iter().copied().max().expect("non-empty");
+        let max_g = xs.iter().copied().max().expect("non-empty");
+        assert!(
+            (max_c as usize) < self.n.len(),
+            "candidate {max_c} out of domain"
+        );
+        assert!(
+            (max_g as usize) < self.groups,
+            "group {max_g} out of domain"
+        );
+        let groups = self.groups;
+        let epoch = self.epoch;
+        for (&c, &g) in zs.iter().zip(xs) {
+            let ci = c as usize;
+            self.counts[ci * groups + g as usize] += 1;
+            self.n[ci] += 1;
+            let s = &mut self.stamp[ci];
+            if *s != epoch {
+                *s = epoch;
+                self.touched.push(c);
+            }
+        }
+        self.tuples += zs.len() as u64;
     }
 
     /// Folds another accumulator's deltas into this one (shard merge /
@@ -125,9 +197,7 @@ impl HistAccumulator {
         assert_eq!(self.n.len(), other.n.len(), "candidate domains must match");
         for &c in &other.touched {
             let ci = c as usize;
-            if self.n[ci] == 0 {
-                self.touched.push(c);
-            }
+            self.touch(c);
             self.n[ci] += other.n[ci];
             let base = ci * self.groups;
             for g in 0..self.groups {
@@ -148,6 +218,14 @@ impl HistAccumulator {
         }
         self.touched.clear();
         self.tuples = 0;
+        // One epoch bump invalidates every stamp in O(1). On the
+        // (billions-of-clears) wrap, fall back to an O(candidates) stamp
+        // reset so a stale stamp can never collide with a live epoch.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
     }
 }
 
@@ -214,15 +292,46 @@ mod tests {
         HistAccumulator::new(2, 2).accumulate_one(0, 5);
     }
 
+    /// The documented contract: an out-of-domain *candidate* fails the
+    /// same explicit "out of domain" assert as an out-of-domain group —
+    /// not a raw slice-index panic leaking internal layout.
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "out of domain")]
     fn out_of_domain_candidate_panics() {
         HistAccumulator::new(2, 2).accumulate_one(7, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn batch_out_of_domain_candidate_panics() {
+        HistAccumulator::new(2, 2).accumulate(&[0, 7], &[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn batch_out_of_domain_group_panics() {
+        HistAccumulator::new(2, 2).accumulate(&[0, 1], &[0, 5]);
     }
 
     #[test]
     #[should_panic(expected = "must align")]
     fn misaligned_slices_panic() {
         HistAccumulator::new(2, 2).accumulate(&[0, 1], &[0]);
+    }
+
+    /// A failed batch must not have mutated anything (validation happens
+    /// before the first increment), so the accumulator stays usable.
+    #[test]
+    fn failed_batch_leaves_state_untouched() {
+        let mut a = HistAccumulator::new(2, 2);
+        a.accumulate_one(1, 1);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.accumulate(&[0, 9], &[0, 0]);
+        }));
+        assert!(r.is_err());
+        assert_eq!(a.tuples(), 1);
+        assert_eq!(a.n(0), 0);
+        assert_eq!(a.n(1), 1);
+        assert_eq!(a.touched(), &[1]);
     }
 }

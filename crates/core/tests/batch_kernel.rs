@@ -1,0 +1,136 @@
+//! Property tests for the batched ingestion kernel: the validated-once
+//! `HistAccumulator::accumulate` batch path must produce **bit-identical**
+//! accumulator state — counts, n, touched list, tuples — to per-tuple
+//! `accumulate_one` over arbitrary batch streams, including
+//! clear-and-reuse cycles (which exercise the epoch-stamped touched
+//! marks that replaced the `n == 0` first-touch branch).
+
+use proptest::prelude::*;
+
+use fastmatch_core::histsim::HistAccumulator;
+
+/// Expands raw picks into domain-valid tuples.
+fn stream_for(nc: usize, ng: usize, picks: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    picks
+        .iter()
+        .map(|&(a, b)| ((a as usize % nc) as u32, (b as usize % ng) as u32))
+        .collect()
+}
+
+/// Asserts full logical-state equality between two accumulators.
+fn assert_identical(batch: &HistAccumulator, per_tuple: &HistAccumulator) {
+    assert_eq!(batch.tuples(), per_tuple.tuples());
+    assert_eq!(batch.touched(), per_tuple.touched(), "touched order");
+    for c in 0..batch.num_candidates() {
+        assert_eq!(batch.n(c), per_tuple.n(c), "n[{c}]");
+        assert_eq!(
+            batch.candidate_counts(c),
+            per_tuple.candidate_counts(c),
+            "counts[{c}]"
+        );
+    }
+    // The Debug repr dumps the logical state wholesale: a final
+    // byte-identity check against representational drift.
+    assert_eq!(format!("{batch:?}"), format!("{per_tuple:?}"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// One batch, arbitrary domain: batch kernel ≡ per-tuple loop.
+    #[test]
+    fn batch_equals_per_tuple_single_batch(
+        picks in prop::collection::vec((0u32..1000, 0u32..1000), 0..200),
+        nc in 1usize..40,
+        ng in 1usize..9,
+    ) {
+        let tuples = stream_for(nc, ng, &picks);
+        let zs: Vec<u32> = tuples.iter().map(|t| t.0).collect();
+        let xs: Vec<u32> = tuples.iter().map(|t| t.1).collect();
+        let mut batch = HistAccumulator::new(nc, ng);
+        batch.accumulate(&zs, &xs);
+        let mut per_tuple = HistAccumulator::new(nc, ng);
+        for &(c, g) in &tuples {
+            per_tuple.accumulate_one(c, g);
+        }
+        assert_identical(&batch, &per_tuple);
+    }
+
+    /// Many batches with interleaved clear-and-reuse cycles: after every
+    /// batch — and after every clear — the two paths stay bit-identical,
+    /// so a stale epoch stamp can never resurrect a cleared touched
+    /// entry or drop a fresh one.
+    #[test]
+    fn batch_equals_per_tuple_across_clear_cycles(
+        picks in prop::collection::vec((0u32..1000, 0u32..1000), 8..160),
+        nc in 1usize..24,
+        ng in 1usize..6,
+        batch_len in 1usize..16,
+        clear_every in 1usize..5,
+    ) {
+        let tuples = stream_for(nc, ng, &picks);
+        let mut batch = HistAccumulator::new(nc, ng);
+        let mut per_tuple = HistAccumulator::new(nc, ng);
+        for (i, chunk) in tuples.chunks(batch_len).enumerate() {
+            let zs: Vec<u32> = chunk.iter().map(|t| t.0).collect();
+            let xs: Vec<u32> = chunk.iter().map(|t| t.1).collect();
+            batch.accumulate(&zs, &xs);
+            for &(c, g) in chunk {
+                per_tuple.accumulate_one(c, g);
+            }
+            assert_identical(&batch, &per_tuple);
+            if (i + 1) % clear_every == 0 {
+                batch.clear();
+                per_tuple.clear();
+                assert_identical(&batch, &per_tuple);
+                prop_assert!(batch.is_empty());
+            }
+        }
+    }
+
+    /// Mixed-path merges: accumulators filled by the batch kernel and by
+    /// the per-tuple loop merge into identical joint state in either
+    /// direction.
+    #[test]
+    fn merge_is_path_agnostic(
+        picks in prop::collection::vec((0u32..1000, 0u32..1000), 4..120),
+        nc in 1usize..16,
+        ng in 1usize..5,
+        split in 0usize..120,
+    ) {
+        let tuples = stream_for(nc, ng, &picks);
+        let split = split.min(tuples.len());
+        let (left, right) = tuples.split_at(split);
+
+        // Left via the batch kernel, right per tuple.
+        let mut a = HistAccumulator::new(nc, ng);
+        a.accumulate(
+            &left.iter().map(|t| t.0).collect::<Vec<_>>(),
+            &left.iter().map(|t| t.1).collect::<Vec<_>>(),
+        );
+        let mut b = HistAccumulator::new(nc, ng);
+        for &(c, g) in right {
+            b.accumulate_one(c, g);
+        }
+        a.merge_from(&b);
+
+        // Reference: everything through one per-tuple accumulator, in
+        // the same left-then-right order (touched order must agree).
+        let mut joint = HistAccumulator::new(nc, ng);
+        for &(c, g) in left.iter().chain(right) {
+            joint.accumulate_one(c, g);
+        }
+        // Merge dedups against candidates already touched on the left,
+        // so only compare the commutative fields plus the touched *set*.
+        assert_eq!(a.tuples(), joint.tuples());
+        let mut at: Vec<u32> = a.touched().to_vec();
+        let mut jt: Vec<u32> = joint.touched().to_vec();
+        at.sort_unstable();
+        jt.sort_unstable();
+        assert_eq!(at, jt);
+        for c in 0..nc {
+            assert_eq!(a.n(c), joint.n(c), "n[{c}]");
+            assert_eq!(a.candidate_counts(c), joint.candidate_counts(c), "counts[{c}]");
+        }
+    }
+}

@@ -39,6 +39,8 @@ pub(crate) struct Driver {
     /// The state machine being driven.
     pub hs: HistSim,
     tracker: ConsumptionTracker,
+    /// Reused per-block delta buffer backing the fused ingestion path.
+    scratch: HistAccumulator,
     t0: Instant,
 }
 
@@ -59,16 +61,29 @@ impl Driver {
         for c in absent {
             hs.mark_exact(c);
         }
-        Ok(Driver { hs, tracker, t0 })
+        let scratch = HistAccumulator::new(job.num_candidates(), job.num_groups());
+        Ok(Driver {
+            hs,
+            tracker,
+            scratch,
+            t0,
+        })
     }
 
     /// Ingests one read block and updates consumption tracking — the
-    /// synchronous ingestion path.
+    /// synchronous ingestion path, fused so the block's tuples are
+    /// traversed exactly once: the batch kernel accumulates the deltas,
+    /// whose touched list *is* the block's distinct-candidate set, so
+    /// consumption tracking runs over `O(distinct)` candidates instead of
+    /// re-walking all tuples.
     #[inline]
     pub fn ingest_block(&mut self, b: usize, zs: &[u32], xs: &[u32]) {
-        self.hs.ingest_block(zs, xs);
+        self.scratch.accumulate(zs, xs);
+        self.hs.merge_ref(&self.scratch);
         let hs = &mut self.hs;
-        self.tracker.block_read(b, zs, |c| hs.mark_exact(c));
+        self.tracker
+            .block_read(b, self.scratch.touched(), |c| hs.mark_exact(c));
+        self.scratch.clear();
     }
 
     /// Merges a shard batch: folds the accumulated deltas into the state

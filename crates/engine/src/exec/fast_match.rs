@@ -23,7 +23,6 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use fastmatch_core::error::{CoreError, Result};
-use fastmatch_store::bitmap::BitmapIndex;
 use fastmatch_store::io::IoStats;
 
 use crate::exec::driver::Driver;
@@ -101,13 +100,12 @@ impl Executor for FastMatchExec {
         // freshness bound).
         let (tx, rx) = sync_channel::<Msg>(2);
         let lookahead = self.lookahead;
-        let bitmap = job.bitmap;
         let shared_for_marker = Arc::clone(&shared);
 
         let mut result: Option<Result<IoStats>> = None;
         std::thread::scope(|scope| {
             scope.spawn(move || {
-                sampling_engine(bitmap, &shared_for_marker, tx, nb, start, lookahead);
+                sampling_engine(job, &shared_for_marker, tx, nb, start, lookahead);
             });
             let r = io_and_stats_loop(job, &mut d, &shared, rx);
             shared.set_mode(DemandMode::Stop);
@@ -119,14 +117,22 @@ impl Executor for FastMatchExec {
 
 /// The lookahead thread: Algorithm 3 over windows, multi-pass with a
 /// visited set so skipped blocks stay eligible for later rounds.
+///
+/// This is also where the lookahead decisions start paying twice: each
+/// window's read-runs are forwarded to the backend's prefetcher *before*
+/// the window is shipped to the I/O manager, so by the time the consumer
+/// reaches a run its pages are (ideally) already warm — selection runs
+/// ahead of I/O, and I/O runs ahead of ingestion. Skipped blocks are
+/// never hinted (demand-aware readahead).
 fn sampling_engine(
-    bitmap: &BitmapIndex,
+    job: &QueryJob<'_>,
     shared: &SharedDemand,
     tx: SyncSender<Msg>,
     nb: usize,
     start: usize,
     lookahead: usize,
 ) {
+    let bitmap = job.bitmap;
     let mut visited = vec![false; nb];
     let mut visited_count = 0usize;
     let mut marks = vec![false; lookahead];
@@ -186,6 +192,11 @@ fn sampling_engine(
             }
             if run_len > 0 {
                 runs.push((run_start as u32, run_len));
+            }
+            // Warm the cache for exactly the blocks this window decided
+            // to read, before handing the window to the I/O manager.
+            for &(s, l) in &runs {
+                job.prefetch(s as usize..s as usize + l as usize);
             }
             if (!runs.is_empty() || skipped > 0) && tx.send(Msg::Batch { runs, skipped }).is_err() {
                 break 'outer;

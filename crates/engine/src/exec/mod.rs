@@ -59,6 +59,37 @@ pub(crate) fn start_block(num_blocks: usize, seed: u64) -> usize {
     StdRng::seed_from_u64(seed).gen_range(0..num_blocks)
 }
 
+/// Forwards one marked lookahead window to the backend's prefetcher:
+/// every maximal run of blocks that is *marked for reading* and *not yet
+/// visited* becomes one readahead hint, issued before the caller starts
+/// ingesting the window — so the backend warms the window's later blocks
+/// while the earlier ones are being accumulated. Skipped (unmarked) and
+/// already-read blocks are never hinted: that is the demand-aware half
+/// of the prefetch pipeline.
+///
+/// `marks[i]` describes local block `seg_off + i`, whose global id is
+/// `base + seg_off + i`; `visited` is indexed by local block id.
+pub(crate) fn prefetch_marked(
+    job: &QueryJob<'_>,
+    base: usize,
+    seg_off: usize,
+    marks: &[bool],
+    visited: &[bool],
+) {
+    let mut run_start: Option<usize> = None;
+    for (i, &marked) in marks.iter().enumerate() {
+        let li = seg_off + i;
+        if marked && !visited[li] {
+            run_start.get_or_insert(li);
+        } else if let Some(s) = run_start.take() {
+            job.prefetch(base + s..base + li);
+        }
+    }
+    if let Some(s) = run_start.take() {
+        job.prefetch(base + s..base + seg_off + marks.len());
+    }
+}
+
 /// Per-block read/skip decision for the synchronous executors.
 pub(crate) enum BlockPolicy {
     /// Read every unread block (ScanMatch).

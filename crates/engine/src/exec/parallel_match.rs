@@ -219,6 +219,11 @@ fn shard_worker(
     let mut marks = vec![false; MARK_WINDOW];
 
     let mut acc = HistAccumulator::new(nc, ng);
+    // Per-block delta buffer: its touched list after accumulating one
+    // block *is* that block's distinct-candidate set (for consumption
+    // tracking), so the tuples are traversed exactly once — no more
+    // sort-and-dedup second pass.
+    let mut block_acc = HistAccumulator::new(nc, ng);
     let mut blocks: Vec<BlockTouch> = Vec::new();
 
     // A pass walks the shard from its rotated start as two contiguous
@@ -244,8 +249,21 @@ fn shard_worker(
                         mark_lookahead(job.bitmap, &active, lo + seg_off, &mut marks[..win]);
                     }
                 }
+                // Hint this window's read-runs to the backend's
+                // prefetcher before ingesting it: the readahead workers
+                // warm the window's later blocks while this worker
+                // accumulates the earlier ones.
+                crate::exec::prefetch_marked(job, lo, seg_off, &marks[..win], &visited);
+                // Unvisited-unmarked blocks are skipped in maximal
+                // contiguous runs through the range-validated bulk API.
+                let mut skip_from: Option<usize> = None;
                 for (i, &marked) in marks[..win].iter().enumerate() {
                     let li = seg_off + i;
+                    if visited[li] || marked {
+                        if let Some(s) = skip_from.take() {
+                            reader.skip_blocks(lo + s..lo + li);
+                        }
+                    }
                     if visited[li] {
                         continue;
                     }
@@ -265,14 +283,13 @@ fn shard_worker(
                                 break 'outer;
                             }
                         };
-                        acc.accumulate(zs, xs);
-                        let mut candidates = zs.to_vec();
-                        candidates.sort_unstable();
-                        candidates.dedup();
+                        block_acc.accumulate(zs, xs);
                         blocks.push(BlockTouch {
                             id: b as u32,
-                            candidates,
+                            candidates: block_acc.touched().to_vec(),
                         });
+                        acc.merge_from(&block_acc);
+                        block_acc.clear();
                         if blocks.len() >= batch_blocks {
                             let msg = Msg::Batch {
                                 acc: std::mem::replace(&mut acc, HistAccumulator::new(nc, ng)),
@@ -282,9 +299,12 @@ fn shard_worker(
                                 break 'outer;
                             }
                         }
-                    } else {
-                        reader.skip_block(b);
+                    } else if skip_from.is_none() {
+                        skip_from = Some(li);
                     }
+                }
+                if let Some(s) = skip_from.take() {
+                    reader.skip_blocks(lo + s..lo + seg_off + win);
                 }
                 off += win;
             }

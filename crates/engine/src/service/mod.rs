@@ -442,6 +442,9 @@ fn run_quantum<'env>(svc: &QueryService<'env>, mut task: ShardTask<'env>) {
     let job = &query.job;
     let lo = task.reader.blocks().start;
     let mut acc = HistAccumulator::new(job.num_candidates(), job.num_groups());
+    // Per-block delta buffer; its touched list is the block's distinct
+    // candidates (one traversal per block, as in `shard_worker`).
+    let mut block_acc = HistAccumulator::new(job.num_candidates(), job.num_groups());
     let mut touches: Vec<BlockTouch> = Vec::new();
     let mut reads = 0usize;
     let mut marks = vec![false; MARK_WINDOW];
@@ -472,13 +475,28 @@ fn run_quantum<'env>(svc: &QueryService<'env>, mut task: ShardTask<'env>) {
                 mark_lookahead(job.bitmap, &active, lo + seg_off, &mut marks[..win]);
             }
         }
+        // Hint the window's read-runs ahead of ingestion — the whole
+        // window, not just this quantum's budget: blocks past the budget
+        // are precisely "the shard's next ingestion quantum", and warming
+        // them now is what overlaps their I/O with this quantum's
+        // compute. (Skipped blocks are never hinted.)
+        crate::exec::prefetch_marked(job, lo, seg_off, &marks[..win], &task.visited);
         let mut processed = 0usize;
+        // Unvisited-unmarked blocks are skipped in maximal contiguous
+        // runs via the range-validated bulk API; a run may only extend
+        // over blocks this quantum actually examined.
+        let mut skip_from: Option<usize> = None;
         for (i, &marked) in marks[..win].iter().enumerate() {
+            let li = seg_off + i;
             if reads >= svc.config.quantum_blocks {
                 break;
             }
             processed += 1;
-            let li = seg_off + i;
+            if task.visited[li] || marked {
+                if let Some(s) = skip_from.take() {
+                    task.reader.skip_blocks(lo + s..lo + li);
+                }
+            }
             if task.visited[li] {
                 continue;
             }
@@ -495,17 +513,19 @@ fn run_quantum<'env>(svc: &QueryService<'env>, mut task: ShardTask<'env>) {
                         break 'quantum;
                     }
                 };
-                acc.accumulate(zs, xs);
-                let mut candidates = zs.to_vec();
-                candidates.sort_unstable();
-                candidates.dedup();
+                block_acc.accumulate(zs, xs);
                 touches.push(BlockTouch {
                     id: b as u32,
-                    candidates,
+                    candidates: block_acc.touched().to_vec(),
                 });
-            } else {
-                task.reader.skip_block(b);
+                acc.merge_from(&block_acc);
+                block_acc.clear();
+            } else if skip_from.is_none() {
+                skip_from = Some(li);
             }
+        }
+        if let Some(s) = skip_from.take() {
+            task.reader.skip_blocks(lo + s..lo + seg_off + processed);
         }
         task.cursor += processed;
         if task.cursor >= n_local {

@@ -341,7 +341,10 @@ fn executor_backend_dataset_layout_matrix() {
             let layout = BlockLayout::new(ds.table.n_rows(), tuples_per_block);
             let bitmap = BitmapIndex::build(&ds.table, 0, &layout);
             // A cache far below the block count forces real disk reads
-            // with eviction churn in the file column of the matrix.
+            // with eviction churn in the file column of the matrix. The
+            // file backend appears twice — readahead pool on (default)
+            // and off — because prefetching must change timing only,
+            // never the matched set or the guarantee level.
             let scratch = TempBlockFile::new("exec_matrix");
             let file_backend = fastmatch_store::file::FileBackend::create(
                 scratch.path(),
@@ -350,9 +353,16 @@ fn executor_backend_dataset_layout_matrix() {
             )
             .unwrap()
             .with_cache_blocks(128);
+            let file_noprefetch = fastmatch_store::file::FileBackend::open(scratch.path())
+                .unwrap()
+                .with_cache_blocks(128)
+                .with_prefetch_workers(0);
             let mem_backend = MemBackend::new(&ds.table, layout);
-            let backends: [(&str, &dyn StorageBackend); 2] =
-                [("mem", &mem_backend), ("file", &file_backend)];
+            let backends: [(&str, &dyn StorageBackend); 3] = [
+                ("mem", &mem_backend),
+                ("file+prefetch", &file_backend),
+                ("file-noprefetch", &file_noprefetch),
+            ];
             for (backend_name, backend) in backends {
                 for e in executors() {
                     let cell = format!(

@@ -27,6 +27,12 @@ pub enum PageOrigin {
     Memory,
     /// Served from the backend's block cache.
     CacheHit,
+    /// Served from the backend's block cache, from a page a readahead
+    /// worker loaded ([`StorageBackend::prefetch`]) that had not yet been
+    /// demand-hit. Each prefetched page reports this at most once — its
+    /// first demand hit — so the count measures *useful* prefetches;
+    /// later re-hits are plain [`Self::CacheHit`]s.
+    PrefetchedHit,
     /// Fetched from the underlying medium (disk, network, …).
     CacheMiss,
 }
@@ -63,6 +69,24 @@ pub trait StorageBackend: Sync + std::fmt::Debug {
         let oz = self.read_block_into(b, z_attr, zs)?;
         let ox = self.read_block_into(b, x_attr, xs)?;
         Ok([oz, ox])
+    }
+
+    /// Advisory readahead hint: the caller expects to read every block of
+    /// `blocks` soon, so the backend may warm whatever cache tier it has
+    /// ahead of the demand reads. Purely an optimization seam:
+    ///
+    /// * hints carry **no obligation** — a backend may batch, truncate or
+    ///   drop them entirely (the default implementation, and
+    ///   [`MemBackend`], do nothing);
+    /// * hints carry **no correctness weight** — a stale or wrong hint at
+    ///   worst warms pages nobody reads; demand reads never depend on a
+    ///   hint having been honored.
+    ///
+    /// Callers are expected to be *demand-aware*: hint only blocks that
+    /// block-selection policies actually marked for reading, never blocks
+    /// they decided to skip.
+    fn prefetch(&self, blocks: std::ops::Range<usize>) {
+        let _ = blocks;
     }
 
     /// Number of rows stored.

@@ -33,13 +33,30 @@
 //! read the file with *positioned* reads (`pread` on Unix, no lock) and
 //! with the cache-shard lock released, so concurrent workers overlap
 //! their disk fetches instead of serializing on a file mutex.
+//!
+//! On top of the cache sits a **demand-aware readahead pipeline**:
+//! [`StorageBackend::prefetch`] hints (contiguous runs of blocks that a
+//! block-selection policy has marked for reading) land in a bounded
+//! queue, and a small pool of background workers drains it, warming the
+//! cache with every attribute page of the hinted blocks before the
+//! demand reads arrive — block *selection* runs ahead of block *I/O*
+//! (paper §4, Figure 6), so storage latency hides behind compute.
+//! Hints are advisory: a full queue drops the oldest hint (the reader
+//! has most likely caught up with it), a stale hint at worst warms pages
+//! nobody reads, and a prefetch hitting a corrupt page stays silent —
+//! the demand read rediscovers and reports the error. Prefetch
+//! attribution ([`CacheStats::pages_prefetched`],
+//! [`CacheStats::prefetched_hits`], and per-reader
+//! [`crate::io::IoStats::pages_prefetch_hit`]) makes the overlap
+//! measurable.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
+use std::ops::Range;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 #[cfg(not(unix))]
 use std::io::{Seek, SeekFrom};
@@ -62,6 +79,16 @@ pub const DEFAULT_CACHE_BLOCKS: usize = 4096;
 
 /// Number of independently locked cache shards.
 const CACHE_SHARDS: usize = 8;
+
+/// Default readahead worker count (see
+/// [`FileBackend::with_prefetch_workers`]).
+pub const DEFAULT_PREFETCH_WORKERS: usize = 2;
+
+/// Bound on queued (not yet drained) prefetch hints. Beyond it the
+/// *oldest* hint is dropped: hints describe where readers are heading,
+/// so under backlog the oldest one is the most likely to have been
+/// overtaken by its own demand reads already.
+const PREFETCH_QUEUE_HINTS: usize = 64;
 
 // ---------------------------------------------------------------- checksum
 
@@ -151,6 +178,17 @@ pub struct CacheStats {
     /// combined working set past capacity, which makes it the leading
     /// indicator of hit-rate collapse under multi-query load.
     pub pressure: u64,
+    /// Pages the readahead workers loaded into the cache on a
+    /// [`StorageBackend::prefetch`] hint. Prefetch loads are **not**
+    /// misses: [`Self::hits`]` + `[`Self::misses`] keeps counting exactly
+    /// the demand reads, so hit-rate semantics are unchanged by turning
+    /// prefetching on.
+    pub pages_prefetched: u64,
+    /// Demand hits served by a prefetched page that had not been
+    /// demand-hit before (each prefetched page counts at most once).
+    /// `prefetched_hits / pages_prefetched` is the useful-prefetch ratio;
+    /// the gap to `pages_prefetched` bounds wasted readahead.
+    pub prefetched_hits: u64,
 }
 
 impl CacheStats {
@@ -172,6 +210,8 @@ impl CacheStats {
             misses: self.misses - earlier.misses,
             evictions: self.evictions - earlier.evictions,
             pressure: self.pressure - earlier.pressure,
+            pages_prefetched: self.pages_prefetched - earlier.pages_prefetched,
+            prefetched_hits: self.prefetched_hits - earlier.prefetched_hits,
         }
     }
 }
@@ -181,6 +221,10 @@ struct Slot {
     key: u64,
     page: Vec<u32>,
     referenced: bool,
+    /// Loaded by a readahead worker and not demand-hit yet; cleared on
+    /// the first demand hit so each prefetched page is attributed as
+    /// useful at most once.
+    prefetched: bool,
 }
 
 #[derive(Debug)]
@@ -203,7 +247,7 @@ struct InsertOutcome {
 
 impl CacheShard {
     /// Inserts a page, clock-evicting if the shard is full.
-    fn insert(&mut self, key: u64, page: Vec<u32>) -> InsertOutcome {
+    fn insert(&mut self, key: u64, page: Vec<u32>, prefetched: bool) -> InsertOutcome {
         let mut outcome = InsertOutcome::default();
         if self.cap == 0 {
             return outcome;
@@ -214,6 +258,7 @@ impl CacheShard {
                 key,
                 page,
                 referenced: true,
+                prefetched,
             });
             return outcome;
         }
@@ -230,6 +275,7 @@ impl CacheShard {
                     key,
                     page,
                     referenced: true,
+                    prefetched,
                 };
                 self.hand = (self.hand + 1) % self.cap;
                 outcome.evicted = true;
@@ -247,24 +293,20 @@ struct BlockCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     pressure: AtomicU64,
+    prefetched: AtomicU64,
+    prefetched_hits: AtomicU64,
 }
 
 impl BlockCache {
     fn new(capacity_blocks: usize) -> Self {
-        assert!(capacity_blocks > 0, "cache capacity must be positive");
-        // Distribute the capacity exactly: the first `capacity % SHARDS`
-        // shards get one extra slot, so the total bound is the requested
-        // one (a shard with capacity 0 simply never caches).
-        BlockCache {
+        let cache = BlockCache {
             shards: (0..CACHE_SHARDS)
-                .map(|i| {
-                    let cap = capacity_blocks / CACHE_SHARDS
-                        + usize::from(i < capacity_blocks % CACHE_SHARDS);
+                .map(|_| {
                     Mutex::new(CacheShard {
                         slots: Vec::new(),
                         map: HashMap::new(),
                         hand: 0,
-                        cap,
+                        cap: 0,
                     })
                 })
                 .collect(),
@@ -272,18 +314,60 @@ impl BlockCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             pressure: AtomicU64::new(0),
+            prefetched: AtomicU64::new(0),
+            prefetched_hits: AtomicU64::new(0),
+        };
+        cache.reset(capacity_blocks);
+        cache
+    }
+
+    /// Drops every cached page, rebounds the cache at `capacity_blocks`
+    /// and zeroes the counters. Interior mutability (`&self`) because the
+    /// cache is shared with readahead workers through an `Arc`.
+    fn reset(&self, capacity_blocks: usize) {
+        assert!(capacity_blocks > 0, "cache capacity must be positive");
+        // Distribute the capacity exactly: the first `capacity % SHARDS`
+        // shards get one extra slot, so the total bound is the requested
+        // one (a shard with capacity 0 simply never caches).
+        for (i, shard) in self.shards.iter().enumerate() {
+            let cap =
+                capacity_blocks / CACHE_SHARDS + usize::from(i < capacity_blocks % CACHE_SHARDS);
+            let mut guard = shard.lock().unwrap();
+            *guard = CacheShard {
+                slots: Vec::new(),
+                map: HashMap::new(),
+                hand: 0,
+                cap,
+            };
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.pressure.store(0, Ordering::Relaxed);
+        self.prefetched.store(0, Ordering::Relaxed);
+        self.prefetched_hits.store(0, Ordering::Relaxed);
+    }
+
+    fn record_insert_outcome(&self, outcome: InsertOutcome) {
+        if outcome.evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        if outcome.second_chances_revoked > 0 {
+            self.pressure
+                .fetch_add(outcome.second_chances_revoked, Ordering::Relaxed);
         }
     }
 
     /// Copies the cached page for `key` into `dest`, or loads it with
     /// `load`, caches a copy, and leaves the loaded page in `dest`.
-    /// Returns whether the request was served from the cache.
+    /// Returns where the page came from (always `CacheHit`,
+    /// `PrefetchedHit` or `CacheMiss`).
     fn get_or_load(
         &self,
         key: u64,
         dest: &mut Vec<u32>,
         load: impl FnOnce(&mut Vec<u32>) -> Result<()>,
-    ) -> Result<bool> {
+    ) -> Result<PageOrigin> {
         // Consecutive block ids land in different shards, so the engine's
         // contiguous-range shard workers spread over all locks.
         let shard = &self.shards[(key % CACHE_SHARDS as u64) as usize];
@@ -292,10 +376,16 @@ impl BlockCache {
             if let Some(&i) = guard.map.get(&key) {
                 let slot = &mut guard.slots[i];
                 slot.referenced = true;
+                let first_prefetched_hit = std::mem::take(&mut slot.prefetched);
                 dest.clear();
                 dest.extend_from_slice(&slot.page);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(true);
+                return Ok(if first_prefetched_hit {
+                    self.prefetched_hits.fetch_add(1, Ordering::Relaxed);
+                    PageOrigin::PrefetchedHit
+                } else {
+                    PageOrigin::CacheHit
+                });
             }
         }
         // Load with the shard lock RELEASED: misses on different pages
@@ -306,17 +396,52 @@ impl BlockCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut guard = shard.lock().unwrap();
         if !guard.map.contains_key(&key) {
-            let outcome = guard.insert(key, dest.clone());
+            let outcome = guard.insert(key, dest.clone(), false);
             drop(guard);
-            if outcome.evicted {
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-            }
-            if outcome.second_chances_revoked > 0 {
-                self.pressure
-                    .fetch_add(outcome.second_chances_revoked, Ordering::Relaxed);
+            self.record_insert_outcome(outcome);
+        }
+        Ok(PageOrigin::CacheMiss)
+    }
+
+    /// Readahead-side entry: loads the page for `key` into the cache if
+    /// it is not already present, marking the slot prefetched. Unlike
+    /// [`Self::get_or_load`] this counts neither a hit nor a miss —
+    /// prefetch traffic must not distort demand hit rates — only
+    /// `pages_prefetched`. Returns whether a page was actually loaded.
+    fn prefetch(
+        &self,
+        key: u64,
+        scratch: &mut Vec<u32>,
+        load: impl FnOnce(&mut Vec<u32>) -> Result<()>,
+    ) -> Result<bool> {
+        let shard = &self.shards[(key % CACHE_SHARDS as u64) as usize];
+        {
+            let guard = shard.lock().unwrap();
+            if guard.cap == 0 || guard.map.contains_key(&key) {
+                return Ok(false);
             }
         }
-        Ok(false)
+        // Same lock discipline as the demand path: fetch with the shard
+        // lock released; racing demand reads of the same page may
+        // duplicate the disk fetch, which is benign.
+        load(scratch)?;
+        let mut guard = shard.lock().unwrap();
+        if guard.map.contains_key(&key) {
+            // A demand read won the race: that page is already counted
+            // (as a miss) and must not be re-flagged prefetched.
+            return Ok(false);
+        }
+        let outcome = guard.insert(key, scratch.clone(), true);
+        // Count the page BEFORE releasing the shard lock: a demand hit
+        // on this page can only happen after acquiring the same lock, so
+        // its `prefetched_hits` increment is ordered after this one —
+        // `prefetched_hits <= pages_prefetched` holds for any observer
+        // synchronized with a hit (counting after the unlock would let a
+        // racing hit make a stats snapshot violate the invariant).
+        self.prefetched.fetch_add(1, Ordering::Relaxed);
+        drop(guard);
+        self.record_insert_outcome(outcome);
+        Ok(true)
     }
 
     fn stats(&self) -> CacheStats {
@@ -325,6 +450,8 @@ impl BlockCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             pressure: self.pressure.load(Ordering::Relaxed),
+            pages_prefetched: self.prefetched.load(Ordering::Relaxed),
+            prefetched_hits: self.prefetched_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -371,13 +498,12 @@ impl PageFile {
     }
 }
 
-/// A read-only [`StorageBackend`] over a block file written by
-/// [`write_table`], with a bounded block cache.
-///
-/// Cloning is not supported; share one backend across threads by
-/// reference (all methods take `&self`).
+/// The shared, immutable heart of a [`FileBackend`]: everything both the
+/// demand read path and the readahead workers need. Lives behind an
+/// `Arc` so the workers (plain `std::thread`s, which need `'static`
+/// captures) can outlive any particular borrow of the backend.
 #[derive(Debug)]
-pub struct FileBackend {
+struct FileInner {
     file: PageFile,
     schema: Schema,
     layout: BlockLayout,
@@ -386,11 +512,198 @@ pub struct FileBackend {
     /// Bytes of one attribute's page region.
     attr_stride: u64,
     cache: BlockCache,
+    /// Simulated extra latency per page *fetch from the medium*, in
+    /// nanoseconds (0 = off). Unlike the reader-side
+    /// [`crate::io::BlockReader::with_simulated_latency`] (which charges
+    /// every block access), this models a slow storage medium: cache
+    /// hits skip it, and readahead workers absorb it in the background —
+    /// exactly the cost structure prefetching exists to hide, so
+    /// experiments can reproduce disk-like regimes on a page-cached
+    /// file. Implemented as a blocking `sleep`, like real I/O: the core
+    /// is released, not burned.
+    medium_latency_ns: AtomicU64,
+}
+
+impl FileInner {
+    /// Reads one page from disk into `dest`, verifying its checksum.
+    fn load_page(&self, attr: usize, b: usize, dest: &mut Vec<u32>) -> Result<()> {
+        let latency = self.medium_latency_ns.load(Ordering::Relaxed);
+        if latency > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(latency));
+        }
+        let block_len = self.layout.block_len(b);
+        let page_bytes = block_len * 4 + PAGE_CHECKSUM_BYTES as usize;
+        let off = self.data_off
+            + attr as u64 * self.attr_stride
+            + b as u64 * (self.layout.tuples_per_block() as u64 * 4 + PAGE_CHECKSUM_BYTES);
+        let mut buf = vec![0u8; page_bytes];
+        self.file.read_exact_at(&mut buf, off)?;
+        let (codes, ck) = buf.split_at(block_len * 4);
+        let stored = u64::from_le_bytes(ck.try_into().unwrap());
+        let computed = fnv1a64(page_basis(attr, b), codes);
+        if stored != computed {
+            return Err(StoreError::Corrupt {
+                attr,
+                block: b,
+                detail: format!("checksum mismatch (stored {stored:#x}, computed {computed:#x})"),
+            });
+        }
+        dest.clear();
+        dest.reserve(block_len);
+        for chunk in codes.chunks_exact(4) {
+            dest.push(u32::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        Ok(())
+    }
+
+    /// Warms the cache with every attribute page of block `b`. Failures
+    /// are deliberately swallowed: a prefetch must never take a backend
+    /// down, and a corrupt page will surface — as the proper
+    /// [`StoreError::Corrupt`] — on the demand read that needs it.
+    fn prefetch_block(&self, b: usize, scratch: &mut Vec<u32>) {
+        for attr in 0..self.schema.len() {
+            let key = page_key(attr, b);
+            let _ = self
+                .cache
+                .prefetch(key, scratch, |dest| self.load_page(attr, b, dest));
+        }
+    }
+}
+
+/// The cache key of one attribute page.
+fn page_key(attr: usize, b: usize) -> u64 {
+    ((attr as u64) << 32) | b as u64
+}
+
+/// Hint queue between [`StorageBackend::prefetch`] callers and the
+/// readahead workers: bounded FIFO of block runs plus a shutdown flag.
+#[derive(Debug)]
+struct PrefetchQueue {
+    state: Mutex<PrefetchState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct PrefetchState {
+    hints: VecDeque<Range<usize>>,
+    shutdown: bool,
+}
+
+impl PrefetchQueue {
+    fn new() -> Self {
+        PrefetchQueue {
+            state: Mutex::new(PrefetchState {
+                hints: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a hint, dropping the oldest one under backlog (hints are
+    /// advisory; see [`PREFETCH_QUEUE_HINTS`]).
+    fn push(&self, hint: Range<usize>) {
+        let mut s = self.state.lock().unwrap();
+        if s.shutdown {
+            return;
+        }
+        if s.hints.len() >= PREFETCH_QUEUE_HINTS {
+            s.hints.pop_front();
+        }
+        s.hints.push_back(hint);
+        drop(s);
+        self.cv.notify_one();
+    }
+
+    /// Blocks for the next hint; `None` once shutdown is requested.
+    fn pop(&self) -> Option<Range<usize>> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if s.shutdown {
+                return None;
+            }
+            if let Some(h) = s.hints.pop_front() {
+                return Some(h);
+            }
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+
+    /// Requests shutdown: pending hints are abandoned and all workers
+    /// wake to exit (each finishes at most its current hint).
+    fn shutdown(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.shutdown = true;
+        s.hints.clear();
+        drop(s);
+        self.cv.notify_all();
+    }
+}
+
+/// The running readahead pool of one backend.
+#[derive(Debug)]
+struct PrefetchPool {
+    queue: Arc<PrefetchQueue>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl PrefetchPool {
+    fn spawn(inner: &Arc<FileInner>, workers: usize) -> Self {
+        let queue = Arc::new(PrefetchQueue::new());
+        let handles = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(inner);
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    let mut scratch = Vec::new();
+                    while let Some(hint) = queue.pop() {
+                        for b in hint {
+                            inner.prefetch_block(b, &mut scratch);
+                        }
+                    }
+                })
+            })
+            .collect();
+        PrefetchPool {
+            queue,
+            workers: handles,
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.queue.shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A read-only [`StorageBackend`] over a block file written by
+/// [`write_table`], with a bounded block cache and a demand-aware
+/// readahead pool (see the [module docs](self)).
+///
+/// Cloning is not supported; share one backend across threads by
+/// reference (all methods take `&self`).
+#[derive(Debug)]
+pub struct FileBackend {
+    inner: Arc<FileInner>,
+    /// `None` when prefetching is disabled
+    /// ([`Self::with_prefetch_workers`]`(0)`).
+    prefetch: Option<PrefetchPool>,
+}
+
+impl Drop for FileBackend {
+    fn drop(&mut self) {
+        if let Some(pool) = &mut self.prefetch {
+            pool.shutdown();
+        }
+    }
 }
 
 impl FileBackend {
     /// Opens a block file, validating its header and overall geometry,
-    /// with the default cache capacity ([`DEFAULT_CACHE_BLOCKS`]).
+    /// with the default cache capacity ([`DEFAULT_CACHE_BLOCKS`]) and
+    /// readahead pool ([`DEFAULT_PREFETCH_WORKERS`]).
     pub fn open(path: &Path) -> Result<Self> {
         let mut file = File::open(path)?;
         let mut header = vec![0u8; 8 + 4 + 8 + 4];
@@ -460,14 +773,18 @@ impl FileBackend {
                 "file is {actual_len} bytes, geometry requires {expected_len}"
             )));
         }
-        Ok(FileBackend {
+        let inner = Arc::new(FileInner {
             file: PageFile::new(file),
             schema: Schema::new(attrs),
             layout,
             data_off,
             attr_stride,
             cache: BlockCache::new(DEFAULT_CACHE_BLOCKS),
-        })
+            medium_latency_ns: AtomicU64::new(0),
+        });
+        let prefetch = (DEFAULT_PREFETCH_WORKERS > 0)
+            .then(|| PrefetchPool::spawn(&inner, DEFAULT_PREFETCH_WORKERS));
+        Ok(FileBackend { inner, prefetch })
     }
 
     /// Writes `table` to `path` and opens it — the one-call persistence
@@ -477,68 +794,73 @@ impl FileBackend {
         Self::open(path)
     }
 
-    /// Replaces the block cache with one bounded at `capacity_blocks`
-    /// pages (resets cache statistics).
-    pub fn with_cache_blocks(mut self, capacity_blocks: usize) -> Self {
-        self.cache = BlockCache::new(capacity_blocks);
+    /// Rebounds the block cache at `capacity_blocks` pages, dropping
+    /// every cached page and resetting cache statistics.
+    pub fn with_cache_blocks(self, capacity_blocks: usize) -> Self {
+        self.inner.cache.reset(capacity_blocks);
         self
     }
 
-    /// Cache hit/miss/eviction counters since creation (or the last
-    /// [`Self::with_cache_blocks`]).
-    pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+    /// Sets a simulated per-page *medium* latency in nanoseconds: every
+    /// page fetch from the file — demand miss or readahead — blocks
+    /// (sleeps, releasing the core, like real I/O) this long before
+    /// reading; cache hits pay nothing. Unlike the reader-side
+    /// [`crate::io::BlockReader::with_simulated_latency`] this models a
+    /// slow *medium*, which is exactly the cost prefetching can hide —
+    /// use it to reproduce disk-like regimes on a page-cached file.
+    /// `0` turns it off.
+    pub fn with_simulated_medium_latency_ns(self, ns: u64) -> Self {
+        self.inner.medium_latency_ns.store(ns, Ordering::Relaxed);
+        self
     }
 
-    /// Reads one page from disk into `dest`, verifying its checksum.
-    fn load_page(&self, attr: usize, b: usize, dest: &mut Vec<u32>) -> Result<()> {
-        let block_len = self.layout.block_len(b);
-        let page_bytes = block_len * 4 + PAGE_CHECKSUM_BYTES as usize;
-        let off = self.data_off
-            + attr as u64 * self.attr_stride
-            + b as u64 * (self.layout.tuples_per_block() as u64 * 4 + PAGE_CHECKSUM_BYTES);
-        let mut buf = vec![0u8; page_bytes];
-        self.file.read_exact_at(&mut buf, off)?;
-        let (codes, ck) = buf.split_at(block_len * 4);
-        let stored = u64::from_le_bytes(ck.try_into().unwrap());
-        let computed = fnv1a64(page_basis(attr, b), codes);
-        if stored != computed {
-            return Err(StoreError::Corrupt {
-                attr,
-                block: b,
-                detail: format!("checksum mismatch (stored {stored:#x}, computed {computed:#x})"),
-            });
+    /// Resizes the readahead pool to `workers` background threads
+    /// (`0` disables prefetching entirely: hints are dropped at the
+    /// backend boundary). The default is [`DEFAULT_PREFETCH_WORKERS`].
+    pub fn with_prefetch_workers(mut self, workers: usize) -> Self {
+        if let Some(pool) = &mut self.prefetch {
+            pool.shutdown();
         }
-        dest.clear();
-        dest.reserve(block_len);
-        for chunk in codes.chunks_exact(4) {
-            dest.push(u32::from_le_bytes(chunk.try_into().unwrap()));
-        }
-        Ok(())
+        self.prefetch = (workers > 0).then(|| PrefetchPool::spawn(&self.inner, workers));
+        self
+    }
+
+    /// Cache hit/miss/eviction/prefetch counters since creation (or the
+    /// last [`Self::with_cache_blocks`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
     }
 }
 
 impl StorageBackend for FileBackend {
     fn schema(&self) -> &Schema {
-        &self.schema
+        &self.inner.schema
     }
 
     fn layout(&self) -> BlockLayout {
-        self.layout
+        self.inner.layout
     }
 
     fn read_block_into(&self, b: usize, attr: usize, out: &mut Vec<u32>) -> Result<PageOrigin> {
-        assert!(attr < self.schema.len(), "attribute {attr} out of range");
-        assert!(b < self.layout.num_blocks(), "block {b} out of range");
-        let key = ((attr as u64) << 32) | b as u64;
-        let hit = self
-            .cache
-            .get_or_load(key, out, |dest| self.load_page(attr, b, dest))?;
-        Ok(if hit {
-            PageOrigin::CacheHit
-        } else {
-            PageOrigin::CacheMiss
+        let inner = &*self.inner;
+        assert!(attr < inner.schema.len(), "attribute {attr} out of range");
+        assert!(b < inner.layout.num_blocks(), "block {b} out of range");
+        inner.cache.get_or_load(page_key(attr, b), out, |dest| {
+            inner.load_page(attr, b, dest)
         })
+    }
+
+    fn prefetch(&self, blocks: Range<usize>) {
+        let Some(pool) = &self.prefetch else {
+            return;
+        };
+        // Clamp rather than assert: hints are advisory and may be
+        // computed from slightly stale state.
+        let clamped = blocks.start.min(self.inner.layout.num_blocks())
+            ..blocks.end.min(self.inner.layout.num_blocks());
+        if !clamped.is_empty() {
+            pool.queue.push(clamped);
+        }
     }
 }
 
@@ -735,6 +1057,99 @@ mod tests {
             FileBackend::open(&path),
             Err(StoreError::Format(_))
         ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Polls until the backend's prefetched-page counter reaches `want`
+    /// (readahead is asynchronous; generous timeout, fails loudly).
+    fn wait_for_prefetched(be: &FileBackend, want: u64) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while be.cache_stats().pages_prefetched < want {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "prefetcher stalled: {} of {want} pages after 10s",
+                be.cache_stats().pages_prefetched
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn prefetch_warms_cache_and_attributes_first_hits() {
+        let t = table(160); // 20 blocks of 8 per attr
+        let path = tmp_path("prefetch");
+        let be = FileBackend::create(&path, &t, 8).unwrap();
+        let nb = be.layout().num_blocks();
+        be.prefetch(0..nb);
+        wait_for_prefetched(&be, 2 * nb as u64);
+        let s = be.cache_stats();
+        assert_eq!(s.pages_prefetched, 2 * nb as u64);
+        assert_eq!(s.misses, 0, "prefetch loads must not count as misses");
+        assert_eq!(s.hits, 0, "prefetch loads must not count as hits");
+
+        // Every demand read is now a first hit on a prefetched page…
+        let mut buf = Vec::new();
+        for b in 0..nb {
+            let origin = be.read_block_into(b, 0, &mut buf).unwrap();
+            assert_eq!(origin, PageOrigin::PrefetchedHit, "block {b}");
+            assert_eq!(buf.as_slice(), &t.column(0)[be.layout().rows_of_block(b)]);
+        }
+        // …and a re-read is an ordinary cache hit (one attribution each).
+        let origin = be.read_block_into(0, 0, &mut buf).unwrap();
+        assert_eq!(origin, PageOrigin::CacheHit);
+        let s = be.cache_stats();
+        assert_eq!(s.prefetched_hits, nb as u64);
+        assert_eq!(s.hits, nb as u64 + 1);
+        assert_eq!(s.misses, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn disabled_prefetch_drops_hints() {
+        let t = table(80);
+        let path = tmp_path("noprefetch");
+        let be = FileBackend::create(&path, &t, 8)
+            .unwrap()
+            .with_prefetch_workers(0);
+        be.prefetch(0..be.layout().num_blocks());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(be.cache_stats().pages_prefetched, 0);
+        let mut buf = Vec::new();
+        let origin = be.read_block_into(0, 0, &mut buf).unwrap();
+        assert_eq!(origin, PageOrigin::CacheMiss);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_hints_are_clamped_not_fatal() {
+        let t = table(80); // 10 blocks
+        let path = tmp_path("clamphint");
+        let be = FileBackend::create(&path, &t, 8).unwrap();
+        let nb = be.layout().num_blocks();
+        be.prefetch(nb..nb + 100); // entirely out of range: dropped
+        be.prefetch(nb - 2..nb + 5); // clamped to the last two blocks
+        wait_for_prefetched(&be, 4);
+        assert_eq!(be.cache_stats().pages_prefetched, 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn prefetch_of_corrupt_page_is_silent_and_demand_read_reports_it() {
+        let t = table(64);
+        let path = tmp_path("prefetch_corrupt");
+        write_table(&path, &t, 8).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff; // damage the very last page (attr 1)
+        std::fs::write(&path, &bytes).unwrap();
+        let be = FileBackend::open(&path).unwrap();
+        let nb = be.layout().num_blocks();
+        be.prefetch(0..nb);
+        // The healthy pages arrive; the damaged one is silently skipped.
+        wait_for_prefetched(&be, 2 * nb as u64 - 1);
+        let mut buf = Vec::new();
+        let err = be.read_block_into(nb - 1, 1, &mut buf).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { attr: 1, .. }), "{err}");
         std::fs::remove_file(&path).unwrap();
     }
 

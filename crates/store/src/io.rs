@@ -40,6 +40,12 @@ pub struct IoStats {
     pub pages_cache_hit: u64,
     /// Attribute pages this reader's requests fetched from the medium.
     pub pages_cache_miss: u64,
+    /// Subset of [`Self::pages_cache_hit`] that were the *first* demand
+    /// hit on a page the backend's readahead pool had prefetched — the
+    /// per-reader measure of how much prefetching actually hid I/O for
+    /// this run (a page only counts once; later re-hits are ordinary
+    /// cache hits).
+    pub pages_prefetch_hit: u64,
 }
 
 impl IoStats {
@@ -72,6 +78,7 @@ impl IoStats {
         self.tuples_read += other.tuples_read;
         self.pages_cache_hit += other.pages_cache_hit;
         self.pages_cache_miss += other.pages_cache_miss;
+        self.pages_prefetch_hit += other.pages_prefetch_hit;
     }
 
     /// The per-field difference `self − other`; `other` must be an
@@ -80,15 +87,20 @@ impl IoStats {
     /// to its query without zeroing the underlying reader.
     ///
     /// # Panics
-    /// Panics (in debug builds) if any field of `other` exceeds `self`'s.
+    /// Panics — in **all** build profiles — if any field of `other`
+    /// exceeds `self`'s. A misordered snapshot would otherwise wrap the
+    /// `u64` subtraction and silently corrupt every downstream per-query
+    /// attribution, so it must fail loudly rather than only under
+    /// `debug_assertions`.
     pub fn since(&self, other: IoStats) -> IoStats {
-        debug_assert!(
+        assert!(
             self.blocks_read >= other.blocks_read
                 && self.blocks_skipped >= other.blocks_skipped
                 && self.tuples_read >= other.tuples_read
                 && self.pages_cache_hit >= other.pages_cache_hit
-                && self.pages_cache_miss >= other.pages_cache_miss,
-            "IoStats::since with a later snapshot"
+                && self.pages_cache_miss >= other.pages_cache_miss
+                && self.pages_prefetch_hit >= other.pages_prefetch_hit,
+            "IoStats::since with a later snapshot: {self:?} since {other:?}"
         );
         IoStats {
             blocks_read: self.blocks_read - other.blocks_read,
@@ -96,6 +108,7 @@ impl IoStats {
             tuples_read: self.tuples_read - other.tuples_read,
             pages_cache_hit: self.pages_cache_hit - other.pages_cache_hit,
             pages_cache_miss: self.pages_cache_miss - other.pages_cache_miss,
+            pages_prefetch_hit: self.pages_prefetch_hit - other.pages_prefetch_hit,
         }
     }
 }
@@ -259,6 +272,13 @@ impl<'a> BlockReader<'a> {
                 for origin in origins {
                     match origin {
                         PageOrigin::CacheHit => self.stats.pages_cache_hit += 1,
+                        PageOrigin::PrefetchedHit => {
+                            // A prefetched page's first demand hit is still
+                            // a cache hit; the extra counter attributes it
+                            // to the readahead pipeline.
+                            self.stats.pages_cache_hit += 1;
+                            self.stats.pages_prefetch_hit += 1;
+                        }
                         PageOrigin::CacheMiss => self.stats.pages_cache_miss += 1,
                         PageOrigin::Memory => {}
                     }
@@ -394,6 +414,28 @@ impl<'a> ShardedBlockReader<'a> {
             self.blocks
         );
         self.inner.skip_block(b);
+    }
+
+    /// Bulk twin of [`Self::skip_block`]: records a whole contiguous run
+    /// of deliberately skipped blocks at once, with the same shard-range
+    /// validation — so window-granular skip accounting from lookahead
+    /// marking neither loops per block nor bypasses the range check via
+    /// the inner reader. An empty range is a no-op.
+    ///
+    /// # Panics
+    /// Panics if any block of a non-empty `blocks` lies outside the
+    /// shard's range.
+    #[inline]
+    pub fn skip_blocks(&mut self, blocks: Range<usize>) {
+        if blocks.is_empty() {
+            return;
+        }
+        assert!(
+            blocks.start >= self.blocks.start && blocks.end <= self.blocks.end,
+            "blocks {blocks:?} outside shard range {:?}",
+            self.blocks
+        );
+        self.inner.skip_blocks(blocks.len() as u64);
     }
 }
 
@@ -548,6 +590,54 @@ mod tests {
     fn shard_index_must_be_in_range() {
         let t = table();
         BlockReader::new(&t, BlockLayout::new(20, 5)).shard(2, 2);
+    }
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let t = table();
+        let layout = BlockLayout::new(20, 5);
+        let mut reader = BlockReader::new(&t, layout);
+        reader.block_slices(0, 0, 1);
+        let snap = reader.stats();
+        reader.block_slices(1, 0, 1);
+        reader.skip_block(2);
+        let delta = reader.stats().since(snap);
+        assert_eq!(delta.blocks_read, 1);
+        assert_eq!(delta.blocks_skipped, 1);
+        assert_eq!(delta.tuples_read, 5);
+    }
+
+    /// The monotonicity guard must hold in *release* builds too: this
+    /// test runs under every profile, and CI additionally executes it
+    /// with `--release` — a wrapped subtraction instead of a panic here
+    /// means per-query attribution is being silently corrupted.
+    #[test]
+    #[should_panic(expected = "later snapshot")]
+    fn since_panics_on_misordered_snapshots_in_all_builds() {
+        let earlier = IoStats::default();
+        let later = IoStats {
+            blocks_read: 3,
+            ..IoStats::default()
+        };
+        let _ = earlier.since(later);
+    }
+
+    #[test]
+    fn shard_skip_blocks_accounts_in_bulk() {
+        let t = table();
+        let layout = BlockLayout::new(20, 5); // 4 blocks
+        let mut s = BlockReader::new(&t, layout).shard(0, 1);
+        s.skip_blocks(1..4);
+        s.skip_blocks(2..2); // empty: no-op, even though degenerate
+        assert_eq!(s.stats().blocks_skipped, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside shard range")]
+    fn shard_skip_blocks_rejects_foreign_ranges() {
+        let t = table();
+        let mut s = BlockReader::new(&t, BlockLayout::new(20, 5)).shard(0, 2);
+        s.skip_blocks(1..3); // block 2 belongs to shard 1
     }
 
     #[test]

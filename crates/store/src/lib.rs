@@ -18,8 +18,11 @@
 //! * a pluggable storage abstraction ([`backend::StorageBackend`]) with
 //!   two implementations — the in-memory table view
 //!   ([`backend::MemBackend`]) and a checksummed on-disk columnar block
-//!   file with a bounded, sharded block cache ([`file::FileBackend`]) —
-//!   plus fallible storage errors ([`error::StoreError`]);
+//!   file with a bounded, sharded block cache and a demand-aware
+//!   background readahead pool fed by advisory
+//!   [`backend::StorageBackend::prefetch`] hints
+//!   ([`file::FileBackend`]) — plus fallible storage errors
+//!   ([`error::StoreError`]);
 //! * a block reader over any backend that accounts blocks read/skipped
 //!   and tuples touched, with an optional simulated per-block latency so
 //!   storage-media cost models can be explored ([`io::BlockReader`]), and

@@ -106,6 +106,88 @@ fn concurrent_eviction_churn_never_corrupts_reads() {
     );
 }
 
+/// Concurrent demand readers racing the readahead pool over a bounded
+/// cache: prefetched-page attribution must sum exactly — per-reader
+/// `pages_prefetch_hit` to the global `prefetched_hits`, per-reader
+/// hit/miss to the global demand counters — and prefetch loads must
+/// never leak into the demand hit/miss accounting.
+#[test]
+fn prefetch_attribution_sums_exactly_under_churn() {
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 6;
+    let rows = 12_000;
+    let tpb = 60usize; // 200 blocks per attribute
+    let table = fixture(rows);
+    let scratch = TempBlockFile::new("cache_stress_prefetch");
+    let backend = FileBackend::create(scratch.path(), &table, tpb)
+        .unwrap()
+        .with_cache_blocks(64);
+    let layout = backend.layout();
+    let nb = layout.num_blocks();
+
+    let stats: Vec<fastmatch_store::io::IoStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|w| {
+                let backend = &backend;
+                let table = &table;
+                scope.spawn(move || {
+                    let mut reader = fastmatch_store::io::BlockReader::over_backend(backend);
+                    for round in 0..ROUNDS {
+                        let mut b = (w * 29 + round * 17) % nb;
+                        for _ in 0..nb {
+                            // Hint a short run ahead of the read cursor,
+                            // racing the other readers' demand fetches
+                            // and the pool's own inserts for the same
+                            // pages.
+                            backend.prefetch(b..(b + 8).min(nb));
+                            let (zs, xs) = reader.block_slices(b, 0, 1);
+                            assert_eq!(zs, &table.column(0)[layout.rows_of_block(b)]);
+                            assert_eq!(xs, &table.column(1)[layout.rows_of_block(b)]);
+                            b = (b + 1 + w) % nb;
+                        }
+                    }
+                    reader.stats()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let total: fastmatch_store::io::IoStats = stats.into_iter().sum();
+    let cs = backend.cache_stats();
+    assert_eq!(
+        total.pages_cache_hit + total.pages_cache_miss,
+        2 * total.blocks_read,
+        "each block-pair read is exactly two attributed pages"
+    );
+    assert_eq!(
+        cs.hits + cs.misses,
+        2 * total.blocks_read,
+        "prefetch loads must not leak into demand hit/miss counters"
+    );
+    assert_eq!(cs.hits, total.pages_cache_hit, "hit attribution must sum");
+    assert_eq!(
+        cs.misses, total.pages_cache_miss,
+        "miss attribution must sum"
+    );
+    assert_eq!(
+        cs.prefetched_hits, total.pages_prefetch_hit,
+        "prefetched-hit attribution must sum"
+    );
+    assert!(
+        total.pages_prefetch_hit <= total.pages_cache_hit,
+        "prefetched hits are a subset of cache hits"
+    );
+    assert!(
+        cs.prefetched_hits <= cs.pages_prefetched,
+        "a prefetched page can be first-hit at most once"
+    );
+    assert!(
+        cs.pages_prefetched > 0,
+        "with hints issued every block, the pool must have warmed pages"
+    );
+}
+
 /// The same churn through `BlockReader`s (the engine's read path): the
 /// per-reader `IoStats` attribution must account for every page exactly.
 #[test]
