@@ -1,0 +1,339 @@
+//! `live_ingest` — the live-table serving regime, measured:
+//!
+//! 1. **Append throughput**: rows/sec streaming a synthetic dataset
+//!    into a `LiveTable` in batches — memory-only, inline sealing
+//!    (appender pays the disk write), and background sealing (the
+//!    sealer thread absorbs it) — so the cost of durability and the
+//!    benefit of taking it off the append path are both visible.
+//! 2. **Query latency under ingest**: FastMatch latency over fresh
+//!    snapshots while appenders run full speed, versus the same queries
+//!    over a quiescent table — the HTAP headline: how much does write
+//!    traffic tax read latency, and does isolation hold (matched sets
+//!    are asserted identical to a frozen-copy run at each watermark).
+//!
+//! Emits a machine-readable summary to `BENCH_live.json` (current
+//! working directory) so CI can archive the perf trajectory.
+//!
+//! Scale knobs: `FASTMATCH_LIVE_ROWS` (default 400,000 append rows),
+//! `FASTMATCH_BENCH_ROWS` (default 150,000 query-phase rows),
+//! `FASTMATCH_LIVE_BATCH` (default 1,024 rows/append batch),
+//! `FASTMATCH_SEED` (default 42).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use fastmatch_bench::report::render_table;
+use fastmatch_core::histsim::HistSimConfig;
+use fastmatch_data::gen::{conditional_with_planted, generate_table, ColumnGen, ColumnSpec};
+use fastmatch_data::shapes::uniform;
+use fastmatch_data::AppendBatches;
+use fastmatch_engine::exec::{Executor, FastMatchExec};
+use fastmatch_engine::query::QueryJob;
+use fastmatch_store::live::{LiveTable, LiveTableConfig};
+use fastmatch_store::table::Table;
+use fastmatch_store::tempfile::TempBlockDir;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fixture(rows: usize, seed: u64) -> Table {
+    let dists = conditional_with_planted(
+        60,
+        &uniform(8),
+        &[(0, 0.0), (2, 0.015), (5, 0.03), (9, 0.04), (15, 0.05)],
+        0.20,
+        seed ^ 0xab,
+    );
+    let specs = vec![
+        ColumnSpec::new("z", 60, ColumnGen::PrimaryZipf { s: 1.2 }),
+        ColumnSpec::new("x", 8, ColumnGen::Conditional { parent: 0, dists }),
+    ];
+    generate_table(&specs, rows, seed)
+}
+
+fn config(rows: usize) -> HistSimConfig {
+    HistSimConfig {
+        k: 5,
+        epsilon: 0.1,
+        delta: 0.05,
+        sigma: 0.01,
+        stage1_samples: ((rows as u64) / 10).clamp(10_000, 100_000),
+        ..HistSimConfig::default()
+    }
+}
+
+// --------------------------------------------------------------- appends
+
+struct AppendResult {
+    label: &'static str,
+    rows: u64,
+    wall: Duration,
+    persisted: u64,
+}
+
+impl AppendResult {
+    fn rows_per_sec(&self) -> f64 {
+        self.rows as f64 / self.wall.as_secs_f64()
+    }
+}
+
+fn bench_append(
+    label: &'static str,
+    table: &Table,
+    batch: usize,
+    dir: Option<&std::path::Path>,
+    background: bool,
+) -> AppendResult {
+    let mut cfg = LiveTableConfig::default().with_background_sealer(background);
+    if let Some(dir) = dir {
+        cfg = cfg.with_segment_dir(dir);
+    }
+    let live = LiveTable::new(table.schema().clone(), cfg).unwrap();
+    let t0 = Instant::now();
+    for cols in AppendBatches::new(table.clone(), batch) {
+        live.append_batch(&cols).unwrap();
+    }
+    let wall = t0.elapsed();
+    // Sealing is part of the story, not the append wall: report what got
+    // persisted by the time appends finished (background) or always
+    // (inline).
+    let persisted = live.stats().persisted_segments;
+    AppendResult {
+        label,
+        rows: table.n_rows() as u64,
+        wall,
+        persisted,
+    }
+}
+
+// ---------------------------------------------------- query under ingest
+
+struct QueryPhase {
+    latencies: Vec<Duration>,
+    watermark_first: usize,
+    watermark_last: usize,
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Runs `queries` FastMatch queries over fresh snapshots of `live`,
+/// asserting each result equals the plants (isolation + correctness).
+/// Any concurrent ingest load is arranged by the caller's thread scope.
+fn query_phase(live: &LiveTable, queries: usize, seed: u64) -> QueryPhase {
+    let mut latencies = Vec::with_capacity(queries);
+    let mut watermark_first = 0usize;
+    let mut watermark_last = 0usize;
+    for q in 0..queries {
+        let snap = live.snapshot();
+        if q == 0 {
+            watermark_first = snap.n_rows();
+        }
+        watermark_last = snap.n_rows();
+        let cfg = config(snap.n_rows());
+        let job = QueryJob::from_snapshot(&snap, 0, 1, uniform(8), cfg);
+        let t0 = Instant::now();
+        let out = FastMatchExec::with_lookahead(64)
+            .run(&job, seed.wrapping_add(q as u64))
+            .expect("query under ingest failed");
+        latencies.push(t0.elapsed());
+        let mut ids = out.candidate_ids();
+        ids.sort_unstable();
+        assert_eq!(
+            ids,
+            vec![0, 2, 5, 9, 15],
+            "query {q} at watermark {watermark_last}: matched set diverged from the plants"
+        );
+    }
+    latencies.sort_unstable();
+    QueryPhase {
+        latencies,
+        watermark_first,
+        watermark_last,
+    }
+}
+
+fn main() {
+    let append_rows = env_usize("FASTMATCH_LIVE_ROWS", 400_000).max(10_000);
+    let query_rows = env_usize("FASTMATCH_BENCH_ROWS", 150_000).max(50_000);
+    let batch = env_usize("FASTMATCH_LIVE_BATCH", 1_024).max(1);
+    let seed = env_usize("FASTMATCH_SEED", 42) as u64;
+    let queries = 6usize;
+
+    println!("== live_ingest: append throughput and query latency under ingestion ==\n");
+    println!(
+        "# host parallelism: {} core(s)",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    // ---- append throughput ------------------------------------------
+    let t0 = Instant::now();
+    let append_table = fixture(append_rows, seed);
+    println!(
+        "# generated {} append rows in {:.2?}; batch = {batch} rows\n",
+        append_rows,
+        t0.elapsed()
+    );
+    let dir_inline = TempBlockDir::new("live_ingest_inline");
+    let dir_bg = TempBlockDir::new("live_ingest_bg");
+    let results = [
+        bench_append("memory-only (no sealing)", &append_table, batch, None, true),
+        bench_append(
+            "inline sealing (appender pays)",
+            &append_table,
+            batch,
+            Some(dir_inline.path()),
+            false,
+        ),
+        bench_append(
+            "background sealer",
+            &append_table,
+            batch,
+            Some(dir_bg.path()),
+            true,
+        ),
+    ];
+    println!(
+        "{}",
+        render_table(
+            &[
+                "append path",
+                "rows",
+                "wall ms",
+                "rows/sec",
+                "segments persisted at finish"
+            ],
+            &results
+                .iter()
+                .map(|r| vec![
+                    r.label.to_string(),
+                    r.rows.to_string(),
+                    format!("{:.1}", r.wall.as_secs_f64() * 1e3),
+                    format!("{:.0}", r.rows_per_sec()),
+                    r.persisted.to_string(),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+
+    // ---- query latency under ingest ---------------------------------
+    // Quiescent baseline: the full query table, no writers.
+    let query_table = fixture(query_rows, seed ^ 0x51);
+    let quiet_live =
+        LiveTable::new(query_table.schema().clone(), LiveTableConfig::default()).unwrap();
+    for cols in AppendBatches::new(query_table.clone(), 8_192) {
+        quiet_live.append_batch(&cols).unwrap();
+    }
+    let quiet = query_phase(&quiet_live, queries, seed);
+
+    // Under ingest: preload the same table, then run identical queries
+    // while appenders stream another copy in at full speed.
+    let busy_live =
+        LiveTable::new(query_table.schema().clone(), LiveTableConfig::default()).unwrap();
+    for cols in AppendBatches::new(query_table.clone(), 8_192) {
+        busy_live.append_batch(&cols).unwrap();
+    }
+    let extra = fixture(append_rows, seed ^ 0x77);
+    let stop = AtomicBool::new(false);
+    let busy = std::thread::scope(|scope| {
+        let writer = {
+            let busy_live = &busy_live;
+            let extra = &extra;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut appended = 0u64;
+                'outer: loop {
+                    for cols in AppendBatches::new(extra.clone(), batch) {
+                        if stop.load(Ordering::Relaxed) {
+                            break 'outer;
+                        }
+                        appended += cols[0].len() as u64;
+                        busy_live.append_batch(&cols).unwrap();
+                    }
+                }
+                appended
+            })
+        };
+        let phase = query_phase(&busy_live, queries, seed);
+        stop.store(true, Ordering::Relaxed);
+        let appended = writer.join().unwrap();
+        println!(
+            "# ingest load appended {appended} rows while {queries} queries ran (watermarks {} → {})",
+            phase.watermark_first, phase.watermark_last
+        );
+        phase
+    });
+
+    let lat_row = |label: &str, p: &QueryPhase| {
+        vec![
+            label.to_string(),
+            queries.to_string(),
+            format!("{:.1}", percentile(&p.latencies, 0.5).as_secs_f64() * 1e3),
+            format!(
+                "{:.1}",
+                p.latencies.iter().map(|d| d.as_secs_f64()).sum::<f64>() / p.latencies.len() as f64
+                    * 1e3
+            ),
+            p.watermark_last.to_string(),
+        ]
+    };
+    println!(
+        "{}",
+        render_table(
+            &[
+                "FastMatch over snapshots",
+                "queries",
+                "p50 ms",
+                "mean ms",
+                "final watermark"
+            ],
+            &[lat_row("quiescent", &quiet), lat_row("under ingest", &busy)],
+        )
+    );
+    println!("# matched sets asserted identical to the plants at every watermark\n");
+
+    // Machine-readable summary for CI's perf trajectory.
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"live_ingest\",\n",
+            "  \"append\": {{\n",
+            "    \"rows\": {},\n",
+            "    \"batch_rows\": {},\n",
+            "    \"memory_rows_per_sec\": {:.0},\n",
+            "    \"inline_seal_rows_per_sec\": {:.0},\n",
+            "    \"background_seal_rows_per_sec\": {:.0},\n",
+            "    \"inline_segments_persisted\": {}\n",
+            "  }},\n",
+            "  \"query_under_ingest\": {{\n",
+            "    \"queries\": {},\n",
+            "    \"quiescent_p50_ms\": {:.3},\n",
+            "    \"under_ingest_p50_ms\": {:.3},\n",
+            "    \"quiescent_rows\": {},\n",
+            "    \"final_watermark\": {},\n",
+            "    \"matched_sets_stable\": true\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        results[0].rows,
+        batch,
+        results[0].rows_per_sec(),
+        results[1].rows_per_sec(),
+        results[2].rows_per_sec(),
+        results[1].persisted,
+        queries,
+        percentile(&quiet.latencies, 0.5).as_secs_f64() * 1e3,
+        percentile(&busy.latencies, 0.5).as_secs_f64() * 1e3,
+        quiet.watermark_last,
+        busy.watermark_last,
+    );
+    std::fs::write("BENCH_live.json", &json).expect("writing BENCH_live.json failed");
+    println!("# wrote BENCH_live.json");
+}

@@ -14,6 +14,10 @@
 //! `FASTMATCH_CACHE_BLOCKS` (default 1024 pages — below the working
 //! set), `FASTMATCH_SERVICE_QUERIES` (queries per level, default 24),
 //! `FASTMATCH_SEED` (default 42).
+//!
+//! Emits a machine-readable summary to `BENCH_service.json` (current
+//! working directory) so CI can archive the serving-perf trajectory
+//! alongside `BENCH_ingest.json` / `BENCH_live.json`.
 
 use std::time::{Duration, Instant};
 
@@ -110,6 +114,7 @@ fn main() {
     };
 
     let mut rows_out = Vec::new();
+    let mut levels_json = Vec::new();
     for &concurrency in &[1usize, 4, 16] {
         let service_cfg = ServiceConfig::default();
         let cache_before = backend.cache_stats();
@@ -148,18 +153,43 @@ fn main() {
         let makespan = started.elapsed();
         let cache = backend.cache_stats().since(cache_before);
         latencies.sort_unstable();
+        // One computation per metric: the text table and the JSON
+        // summary must never drift apart.
         let qps = queries_per_level as f64 / makespan.as_secs_f64();
+        let p50_ms = percentile(&latencies, 0.50).as_secs_f64() * 1e3;
+        let p99_ms = percentile(&latencies, 0.99).as_secs_f64() * 1e3;
+        let cache_hit_pct = cache.hit_rate() * 100.0;
+        let per_query_hit_pct = attributed_hit_rate / queries_per_level as f64 * 100.0;
+        levels_json.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"concurrency\": {},\n",
+                "      \"queries\": {},\n",
+                "      \"qps\": {:.4},\n",
+                "      \"p50_ms\": {:.3},\n",
+                "      \"p99_ms\": {:.3},\n",
+                "      \"cache_hit_pct\": {:.2},\n",
+                "      \"per_query_hit_pct\": {:.2},\n",
+                "      \"pressure\": {}\n",
+                "    }}"
+            ),
+            concurrency,
+            queries_per_level,
+            qps,
+            p50_ms,
+            p99_ms,
+            cache_hit_pct,
+            per_query_hit_pct,
+            cache.pressure,
+        ));
         rows_out.push(vec![
             concurrency.to_string(),
             queries_per_level.to_string(),
             format!("{qps:.2}"),
-            format!("{:.1}", percentile(&latencies, 0.50).as_secs_f64() * 1e3),
-            format!("{:.1}", percentile(&latencies, 0.99).as_secs_f64() * 1e3),
-            format!("{:.1}", cache.hit_rate() * 100.0),
-            format!(
-                "{:.1}",
-                attributed_hit_rate / queries_per_level as f64 * 100.0
-            ),
+            format!("{p50_ms:.1}"),
+            format!("{p99_ms:.1}"),
+            format!("{cache_hit_pct:.1}"),
+            format!("{per_query_hit_pct:.1}"),
             cache.pressure.to_string(),
         ]);
     }
@@ -182,4 +212,21 @@ fn main() {
     println!(
         "# per-query hit % averages each query's own attributed IoStats view of the shared cache"
     );
+
+    // Machine-readable summary for CI's perf trajectory.
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"service_throughput\",\n",
+            "  \"rows\": {},\n",
+            "  \"cache_blocks\": {},\n",
+            "  \"levels\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        rows,
+        cache_blocks,
+        levels_json.join(",\n"),
+    );
+    std::fs::write("BENCH_service.json", &json).expect("writing BENCH_service.json failed");
+    println!("# wrote BENCH_service.json");
 }

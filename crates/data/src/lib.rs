@@ -23,8 +23,10 @@ pub mod gen;
 pub mod persist;
 pub mod queries;
 pub mod shapes;
+pub mod stream;
 pub mod zipf;
 
 pub use datasets::{flights, police, taxi, DatasetId};
 pub use persist::{load, persist_shuffled};
+pub use stream::AppendBatches;
 pub use queries::{all_queries, QuerySpec, TargetSpec};

@@ -1,0 +1,127 @@
+//! Streaming append generation: feeding the synthetic datasets into a
+//! live table as a sequence of row batches instead of one frozen
+//! [`Table`].
+//!
+//! The batch pipeline generates a table, shuffles it once, and persists
+//! it; a *serving* system instead sees rows arrive over time. This
+//! module is the bridge: [`AppendBatches`] cuts a (generated, already
+//! shuffled) table into columnar batches shaped exactly like
+//! [`fastmatch_store::live::LiveTable::append_batch`] wants them, and
+//! [`DatasetId::stream`] builds the whole pipeline for one Table 2
+//! dataset. Because generation already applies the random-permutation
+//! preprocessing, the append order is a uniform permutation — so every
+//! live-table snapshot prefix keeps the sampling guarantees the
+//! executors rely on.
+
+use fastmatch_store::table::Table;
+
+use crate::datasets::DatasetId;
+
+/// An iterator of columnar row batches over a table, in row order.
+/// Each item is one `Vec<Vec<u32>>` — one code vector per attribute,
+/// all of the same length (`batch_rows`, except a short final batch).
+#[derive(Debug)]
+pub struct AppendBatches {
+    table: Table,
+    batch_rows: usize,
+    pos: usize,
+}
+
+impl AppendBatches {
+    /// Streams `table` in batches of `batch_rows` rows.
+    ///
+    /// # Panics
+    /// Panics if `batch_rows` is zero.
+    pub fn new(table: Table, batch_rows: usize) -> Self {
+        assert!(batch_rows > 0, "batch size must be positive");
+        AppendBatches {
+            table,
+            batch_rows,
+            pos: 0,
+        }
+    }
+
+    /// Rows not yet yielded.
+    pub fn remaining_rows(&self) -> usize {
+        self.table.n_rows() - self.pos
+    }
+
+    /// The streamed table's schema.
+    pub fn schema(&self) -> &fastmatch_store::schema::Schema {
+        self.table.schema()
+    }
+}
+
+impl Iterator for AppendBatches {
+    type Item = Vec<Vec<u32>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.table.n_rows() {
+            return None;
+        }
+        let end = (self.pos + self.batch_rows).min(self.table.n_rows());
+        let batch = (0..self.table.schema().len())
+            .map(|a| self.table.column(a)[self.pos..end].to_vec())
+            .collect();
+        self.pos = end;
+        Some(batch)
+    }
+}
+
+impl DatasetId {
+    /// Generates this dataset at the given scale (already shuffled, as
+    /// [`DatasetId::generate`] guarantees) and streams it as append
+    /// batches — the ingestion feed for live-table experiments.
+    pub fn stream(&self, rows: usize, seed: u64, batch_rows: usize) -> AppendBatches {
+        AppendBatches::new(self.generate(rows, seed), batch_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmatch_store::live::{LiveTable, LiveTableConfig};
+
+    #[test]
+    fn batches_cover_the_table_in_order() {
+        let table = DatasetId::Flights.generate(2_500, 7);
+        let mut stream = AppendBatches::new(table.clone(), 400);
+        assert_eq!(stream.remaining_rows(), 2_500);
+        let mut row = 0usize;
+        let mut batches = 0usize;
+        for batch in &mut stream {
+            assert_eq!(batch.len(), table.schema().len());
+            let len = batch[0].len();
+            assert!(batch.iter().all(|c| c.len() == len), "ragged batch");
+            for (a, col) in batch.iter().enumerate() {
+                assert_eq!(col.as_slice(), &table.column(a)[row..row + len]);
+            }
+            row += len;
+            batches += 1;
+        }
+        assert_eq!(row, 2_500);
+        assert_eq!(batches, 2_500usize.div_ceil(400));
+        assert_eq!(stream.remaining_rows(), 0);
+    }
+
+    #[test]
+    fn streaming_into_a_live_table_reproduces_the_table() {
+        let rows = 1_800;
+        let table = DatasetId::Taxi.generate(rows, 11);
+        let cfg = LiveTableConfig::default()
+            .with_tuples_per_block(64)
+            .with_blocks_per_segment(4);
+        let live = LiveTable::new(table.schema().clone(), cfg).unwrap();
+        for batch in DatasetId::Taxi.stream(rows, 11, 250) {
+            live.append_batch(&batch).unwrap();
+        }
+        let got = live.snapshot().to_table().unwrap();
+        assert_eq!(got, table, "streamed rows must equal the generated table");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        AppendBatches::new(DatasetId::Flights.generate(10, 1), 0);
+    }
+}

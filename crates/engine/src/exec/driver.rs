@@ -56,7 +56,7 @@ impl Driver {
             job.n_rows() as u64,
             &job.target,
         )?;
-        let tracker = ConsumptionTracker::new(job.bitmap);
+        let tracker = ConsumptionTracker::new(&job.bitmap);
         let absent: Vec<u32> = tracker.never_present().collect();
         for c in absent {
             hs.mark_exact(c);

@@ -132,7 +132,7 @@ fn sampling_engine(
     start: usize,
     lookahead: usize,
 ) {
-    let bitmap = job.bitmap;
+    let bitmap = &job.bitmap;
     let mut visited = vec![false; nb];
     let mut visited_count = 0usize;
     let mut marks = vec![false; lookahead];

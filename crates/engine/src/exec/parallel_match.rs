@@ -246,7 +246,7 @@ fn shard_worker(
                     DemandMode::AnyActive => {
                         marks[..win].fill(false);
                         let active = shared.active_candidates();
-                        mark_lookahead(job.bitmap, &active, lo + seg_off, &mut marks[..win]);
+                        mark_lookahead(&job.bitmap, &active, lo + seg_off, &mut marks[..win]);
                     }
                 }
                 // Hint this window's read-runs to the backend's

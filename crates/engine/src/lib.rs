@@ -48,5 +48,5 @@ pub use query::QueryJob;
 pub use result::{MatchOutput, RunStats};
 pub use service::{
     GuaranteeState, QueryHandle, QueryOutcome, QueryProgress, QueryRequest, QueryService,
-    ServiceConfig, ServiceError,
+    ServiceConfig, ServiceError, SnapshotRequest,
 };

@@ -1,20 +1,48 @@
 //! A fully prepared query: storage source, layout, index, target and
 //! parameters.
 
+use std::sync::Arc;
+
 use fastmatch_core::histsim::HistSimConfig;
 use fastmatch_store::backend::StorageBackend;
 use fastmatch_store::bitmap::BitmapIndex;
 use fastmatch_store::block::BlockLayout;
 use fastmatch_store::io::BlockReader;
+use fastmatch_store::live::Snapshot;
 use fastmatch_store::table::Table;
 
-/// Where a job's blocks come from: the in-memory table (seed regime) or
+/// Where a job's blocks come from: the in-memory table (seed regime),
 /// any pluggable [`StorageBackend`] (e.g. the file-backed columnar
-/// store).
-#[derive(Debug, Clone, Copy)]
+/// store), or a shared-ownership backend the job co-owns (live-table
+/// snapshots handed to `'static` service tasks).
+#[derive(Debug, Clone)]
 enum Source<'a> {
     Mem(&'a Table),
     Backend(&'a dyn StorageBackend),
+    Shared(Arc<dyn StorageBackend>),
+}
+
+/// The bitmap index a job consults: borrowed from the caller (the
+/// classic path) or co-owned (snapshot queries, whose index lives inside
+/// the snapshot the job shares). Derefs to [`BitmapIndex`], so policy
+/// code is oblivious to the distinction.
+#[derive(Debug, Clone)]
+pub enum BitmapHandle<'a> {
+    /// Caller-owned index.
+    Borrowed(&'a BitmapIndex),
+    /// Shared index (e.g. [`Snapshot::bitmap_arc`]).
+    Shared(Arc<BitmapIndex>),
+}
+
+impl std::ops::Deref for BitmapHandle<'_> {
+    type Target = BitmapIndex;
+
+    fn deref(&self) -> &BitmapIndex {
+        match self {
+            BitmapHandle::Borrowed(b) => b,
+            BitmapHandle::Shared(b) => b,
+        }
+    }
 }
 
 /// Everything an executor needs to run one top-k histogram-matching query.
@@ -30,7 +58,7 @@ pub struct QueryJob<'a> {
     /// Block granularity.
     pub layout: BlockLayout,
     /// Bitmap index over the candidate attribute.
-    pub bitmap: &'a BitmapIndex,
+    pub bitmap: BitmapHandle<'a>,
     /// Candidate attribute (`Z`) index.
     pub z_attr: usize,
     /// Grouping attribute (`X`) index.
@@ -63,7 +91,7 @@ impl<'a> QueryJob<'a> {
         Self::with_source(
             Source::Mem(table),
             layout,
-            bitmap,
+            BitmapHandle::Borrowed(bitmap),
             z_attr,
             x_attr,
             target,
@@ -85,7 +113,52 @@ impl<'a> QueryJob<'a> {
         Self::with_source(
             Source::Backend(backend),
             backend.layout(),
-            bitmap,
+            BitmapHandle::Borrowed(bitmap),
+            z_attr,
+            x_attr,
+            target,
+            cfg,
+        )
+    }
+
+    /// Builds a job over a live-table [`Snapshot`], using the exact
+    /// bitmap index the snapshot froze at capture time — no external
+    /// index to build or keep in sync. Same validations as
+    /// [`Self::new`] (they hold by construction here).
+    pub fn from_snapshot(
+        snapshot: &'a Snapshot,
+        z_attr: usize,
+        x_attr: usize,
+        target: Vec<f64>,
+        cfg: HistSimConfig,
+    ) -> Self {
+        Self::with_source(
+            Source::Backend(snapshot),
+            snapshot.layout(),
+            BitmapHandle::Borrowed(snapshot.bitmap(z_attr)),
+            z_attr,
+            x_attr,
+            target,
+            cfg,
+        )
+    }
+
+    /// The co-owning form of [`Self::from_snapshot`]: the job holds the
+    /// snapshot (and its bitmap) by `Arc`, so it is `'static` and can be
+    /// handed to scheduler tasks that outlive the scope that took the
+    /// snapshot — the admission path of
+    /// [`crate::service::QueryService::submit_snapshot`].
+    pub fn from_snapshot_shared(
+        snapshot: Arc<Snapshot>,
+        z_attr: usize,
+        x_attr: usize,
+        target: Vec<f64>,
+        cfg: HistSimConfig,
+    ) -> QueryJob<'static> {
+        QueryJob::with_source(
+            Source::Shared(Arc::clone(&snapshot) as Arc<dyn StorageBackend>),
+            snapshot.layout(),
+            BitmapHandle::Shared(snapshot.bitmap_arc(z_attr)),
             z_attr,
             x_attr,
             target,
@@ -96,7 +169,7 @@ impl<'a> QueryJob<'a> {
     fn with_source(
         source: Source<'a>,
         layout: BlockLayout,
-        bitmap: &'a BitmapIndex,
+        bitmap: BitmapHandle<'a>,
         z_attr: usize,
         x_attr: usize,
         target: Vec<f64>,
@@ -113,12 +186,12 @@ impl<'a> QueryJob<'a> {
             block_latency_ns: 0,
         };
         assert_eq!(
-            bitmap.num_blocks(),
+            job.bitmap.num_blocks(),
             layout.num_blocks(),
             "bitmap/layout mismatch"
         );
         assert_eq!(
-            bitmap.num_values(),
+            job.bitmap.num_values(),
             job.cardinality(z_attr) as usize,
             "bitmap must index the candidate attribute"
         );
@@ -143,9 +216,10 @@ impl<'a> QueryJob<'a> {
 
     /// Cardinality of one attribute of the source.
     pub fn cardinality(&self, attr: usize) -> u32 {
-        match self.source {
+        match &self.source {
             Source::Mem(table) => table.cardinality(attr),
             Source::Backend(backend) => backend.cardinality(attr),
+            Source::Shared(backend) => backend.cardinality(attr),
         }
     }
 
@@ -167,18 +241,21 @@ impl<'a> QueryJob<'a> {
     /// [`StorageBackend::prefetch`].
     #[inline]
     pub fn prefetch(&self, blocks: std::ops::Range<usize>) {
-        if let Source::Backend(backend) = self.source {
-            backend.prefetch(blocks);
+        match &self.source {
+            Source::Mem(_) => {}
+            Source::Backend(backend) => backend.prefetch(blocks),
+            Source::Shared(backend) => backend.prefetch(blocks),
         }
     }
 
     /// A fresh block reader over the job's source, with the job's
     /// simulated latency applied. Executors obtain all their I/O through
-    /// this, so they run unchanged over either storage regime.
+    /// this, so they run unchanged over any storage regime.
     pub fn reader(&self) -> BlockReader<'a> {
-        let reader = match self.source {
+        let reader = match &self.source {
             Source::Mem(table) => BlockReader::new(table, self.layout),
-            Source::Backend(backend) => BlockReader::over_backend(backend),
+            Source::Backend(backend) => BlockReader::over_backend(*backend),
+            Source::Shared(backend) => BlockReader::over_shared(Arc::clone(backend)),
         };
         reader.with_simulated_latency(self.block_latency_ns)
     }

@@ -59,6 +59,7 @@ use fastmatch_core::error::CoreError;
 use fastmatch_core::histsim::{HistAccumulator, HistSimConfig};
 use fastmatch_store::backend::StorageBackend;
 use fastmatch_store::bitmap::BitmapIndex;
+use fastmatch_store::live::{LiveTable, Snapshot};
 
 use crate::exec::driver::{BlockTouch, Driver};
 use crate::policy::mark_lookahead;
@@ -200,6 +201,52 @@ impl<'a> QueryRequest<'a> {
     }
 }
 
+/// One query over a live-table snapshot, as submitted by a client. The
+/// bitmap-free twin of [`QueryRequest`]: a snapshot carries its own
+/// exact per-attribute indexes, frozen at capture time, so there is
+/// nothing external to reference.
+#[derive(Debug, Clone)]
+pub struct SnapshotRequest {
+    /// Candidate attribute (`Z`) index.
+    pub z_attr: usize,
+    /// Grouping attribute (`X`) index.
+    pub x_attr: usize,
+    /// Normalized visual target (length `|V_X|`).
+    pub target: Vec<f64>,
+    /// HistSim parameters.
+    pub cfg: HistSimConfig,
+    /// Seed for the per-shard random scan starts.
+    pub seed: u64,
+    /// Relative deadline, as in [`QueryRequest::deadline`].
+    pub deadline: Option<Duration>,
+}
+
+impl SnapshotRequest {
+    /// A request with no deadline and seed 0.
+    pub fn new(z_attr: usize, x_attr: usize, target: Vec<f64>, cfg: HistSimConfig) -> Self {
+        SnapshotRequest {
+            z_attr,
+            x_attr,
+            target,
+            cfg,
+            seed: 0,
+            deadline: None,
+        }
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets a relative deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
 /// Admission errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceError {
@@ -281,18 +328,81 @@ impl<'env> QueryService<'env> {
         self.active.load(Ordering::Relaxed)
     }
 
-    /// Admits one query, returning its handle. Fails fast —
-    /// [`ServiceError::Saturated`] at the admission bound,
-    /// [`ServiceError::Invalid`] when the driver cannot be built — and
-    /// never blocks.
+    /// Admits one query over the service's shared backend, returning its
+    /// handle. Fails fast — [`ServiceError::Saturated`] at the admission
+    /// bound, [`ServiceError::Invalid`] when the driver cannot be built —
+    /// and never blocks.
     pub fn submit(&self, req: QueryRequest<'env>) -> Result<QueryHandle, ServiceError> {
+        self.reserve_slot()?;
+        let job = QueryJob::from_backend(
+            self.backend,
+            req.bitmap,
+            req.z_attr,
+            req.x_attr,
+            req.target,
+            req.cfg,
+        );
+        self.admit_reserved(job, req.seed, req.deadline)
+    }
+
+    /// Admits one query over a live-table [`Snapshot`] the query will
+    /// co-own: the snapshot (and the exact bitmap it froze) ride inside
+    /// the job, so the caller may take snapshots *inside* the serve
+    /// scope — including one per admission — while writers keep
+    /// appending to the live table underneath. Admission bounds, the
+    /// demand protocol, scheduling fairness and progressive results are
+    /// identical to [`Self::submit`].
+    pub fn submit_snapshot(
+        &self,
+        snapshot: Arc<Snapshot>,
+        req: SnapshotRequest,
+    ) -> Result<QueryHandle, ServiceError> {
+        // Pre-validate what `QueryJob`'s constructor would otherwise
+        // assert: a service must reject malformed requests, not panic.
+        let schema = fastmatch_store::backend::StorageBackend::schema(&*snapshot);
+        if req.z_attr >= schema.len() || req.x_attr >= schema.len() {
+            return Err(ServiceError::Invalid(CoreError::InvalidConfig(format!(
+                "attribute out of range (z {}, x {}, schema {})",
+                req.z_attr,
+                req.x_attr,
+                schema.len()
+            ))));
+        }
+        if req.target.len() != schema.attr(req.x_attr).cardinality as usize {
+            return Err(ServiceError::Invalid(CoreError::InvalidTarget(format!(
+                "target arity {} != |V_X| {}",
+                req.target.len(),
+                schema.attr(req.x_attr).cardinality
+            ))));
+        }
+        self.reserve_slot()?;
+        let job =
+            QueryJob::from_snapshot_shared(snapshot, req.z_attr, req.x_attr, req.target, req.cfg);
+        self.admit_reserved(job, req.seed, req.deadline)
+    }
+
+    /// Takes a fresh point-in-time snapshot of `live` and admits one
+    /// query over it — the live-table admission path. Returns the
+    /// snapshot alongside the handle so the caller can correlate the
+    /// result with the watermark it reflects.
+    pub fn submit_live(
+        &self,
+        live: &LiveTable,
+        req: SnapshotRequest,
+    ) -> Result<(Arc<Snapshot>, QueryHandle), ServiceError> {
+        let snapshot = Arc::new(live.snapshot());
+        let handle = self.submit_snapshot(Arc::clone(&snapshot), req)?;
+        Ok((snapshot, handle))
+    }
+
+    /// Reserves one admission slot atomically (CAS loop): a plain
+    /// load-then-increment would let concurrent submits race past the
+    /// bound. The slot is released on rejection and when the query's
+    /// outcome is published.
+    fn reserve_slot(&self) -> Result<(), ServiceError> {
         if self.sched.is_shutdown() {
             return Err(ServiceError::ShuttingDown);
         }
-        // Reserve the admission slot atomically (CAS loop): a plain
-        // load-then-increment would let concurrent submits race past the
-        // bound. The slot is released on rejection below and when the
-        // query's outcome is published.
         let mut active = self.active.load(Ordering::Relaxed);
         loop {
             if active >= self.config.max_admitted {
@@ -307,19 +417,22 @@ impl<'env> QueryService<'env> {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => break,
+                Ok(_) => return Ok(()),
                 Err(now) => active = now,
             }
         }
+    }
+
+    /// Builds the driver for an already-reserved admission slot, then
+    /// decomposes the query into shard tasks on the shared scheduler —
+    /// the backend-agnostic tail of every submit path.
+    fn admit_reserved(
+        &self,
+        job: QueryJob<'env>,
+        seed: u64,
+        deadline: Option<Duration>,
+    ) -> Result<QueryHandle, ServiceError> {
         let admitted = (|| {
-            let job = QueryJob::from_backend(
-                self.backend,
-                req.bitmap,
-                req.z_attr,
-                req.x_attr,
-                req.target,
-                req.cfg,
-            );
             let mut driver = Driver::new(&job).map_err(ServiceError::Invalid)?;
             let demand = SharedDemand::new(job.num_candidates());
             // Initial publication: degenerate configs may already satisfy
@@ -328,9 +441,9 @@ impl<'env> QueryService<'env> {
             driver
                 .advance_and_publish(&demand)
                 .map_err(ServiceError::Invalid)?;
-            Ok((job, driver, demand))
+            Ok((driver, demand))
         })();
-        let (job, driver, demand) = match admitted {
+        let (driver, demand) = match admitted {
             Ok(parts) => parts,
             Err(e) => {
                 // Validation failed: release the reserved admission slot.
@@ -357,7 +470,7 @@ impl<'env> QueryService<'env> {
                 verdict: done_at_submit.then_some(Verdict::Completed),
             }),
             shared: Arc::clone(&shared),
-            deadline: req.deadline.map(|d| Instant::now() + d),
+            deadline: deadline.map(|d| Instant::now() + d),
             live_shards_hint: AtomicUsize::new(shards),
         });
         // The admission slot reserved above is released when the query's
@@ -366,7 +479,7 @@ impl<'env> QueryService<'env> {
             let shard_reader = reader.shard(w, shards);
             let start = crate::exec::start_block(
                 shard_reader.num_blocks(),
-                req.seed.wrapping_add(w as u64).wrapping_mul(0x9e37_79b9),
+                seed.wrapping_add(w as u64).wrapping_mul(0x9e37_79b9),
             );
             let n_local = shard_reader.num_blocks();
             self.sched.enqueue(ShardTask {
@@ -472,7 +585,7 @@ fn run_quantum<'env>(svc: &QueryService<'env>, mut task: ShardTask<'env>) {
             DemandMode::AnyActive => {
                 marks[..win].fill(false);
                 let active = query.demand.active_candidates();
-                mark_lookahead(job.bitmap, &active, lo + seg_off, &mut marks[..win]);
+                mark_lookahead(&job.bitmap, &active, lo + seg_off, &mut marks[..win]);
             }
         }
         // Hint the window's read-runs ahead of ingestion — the whole

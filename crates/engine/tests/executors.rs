@@ -17,8 +17,9 @@ use fastmatch_engine::query::QueryJob;
 use fastmatch_store::backend::{MemBackend, StorageBackend};
 use fastmatch_store::bitmap::BitmapIndex;
 use fastmatch_store::block::BlockLayout;
+use fastmatch_store::live::{LiveTable, LiveTableConfig};
 use fastmatch_store::table::Table;
-use fastmatch_store::tempfile::TempBlockFile;
+use fastmatch_store::tempfile::{TempBlockDir, TempBlockFile};
 
 /// A 60-candidate dataset with 5 planted near-uniform candidates.
 ///
@@ -278,7 +279,7 @@ fn pool_table(rows: usize, seed: u64) -> Table {
     generate_table(&specs, rows, seed)
 }
 
-/// The executor-equivalence matrix: all five executors × both storage
+/// The executor-equivalence matrix: all five executors × four storage
 /// backends × two datasets × two block layouts. On the planted fixtures
 /// the correct matched set is unambiguous, so every cell must return the
 /// *identical* matched set and reach the same guarantee level — which
@@ -358,10 +359,38 @@ fn executor_backend_dataset_layout_matrix() {
                 .with_cache_blocks(128)
                 .with_prefetch_workers(0);
             let mem_backend = MemBackend::new(&ds.table, layout);
-            let backends: [(&str, &dyn StorageBackend); 3] = [
+            // The live-snapshot column: the same rows appended (in table
+            // order, so the shared bitmap stays exact) into a LiveTable
+            // with inline sealing, then snapshotted — every cell runs
+            // over a mix of sealed segment files and the in-memory tail.
+            let live_dir = TempBlockDir::new("exec_matrix_live");
+            let live = LiveTable::new(
+                ds.table.schema().clone(),
+                LiveTableConfig::default()
+                    .with_tuples_per_block(tuples_per_block)
+                    .with_blocks_per_segment(16)
+                    .with_segment_dir(live_dir.path())
+                    .with_background_sealer(false),
+            )
+            .unwrap();
+            let columns: Vec<Vec<u32>> = (0..ds.table.schema().len())
+                .map(|a| ds.table.column(a).to_vec())
+                .collect();
+            live.append_batch(&columns).unwrap();
+            let live_snapshot = live.snapshot();
+            assert!(
+                live.stats().persisted_segments > 0,
+                "live column never sealed a segment"
+            );
+            assert!(
+                live_snapshot.tail_rows() > 0,
+                "live column has no in-memory tail"
+            );
+            let backends: [(&str, &dyn StorageBackend); 4] = [
                 ("mem", &mem_backend),
                 ("file+prefetch", &file_backend),
                 ("file-noprefetch", &file_noprefetch),
+                ("live-snapshot", &live_snapshot),
             ];
             for (backend_name, backend) in backends {
                 for e in executors() {

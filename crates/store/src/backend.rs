@@ -40,9 +40,11 @@ pub enum PageOrigin {
 /// A source of table blocks: schema + block geometry + a fallible
 /// block-page read primitive.
 ///
-/// Implementations must be safe to share across threads (`Sync`); reads
-/// of distinct or identical blocks may happen concurrently.
-pub trait StorageBackend: Sync + std::fmt::Debug {
+/// Implementations must be safe to share across threads (`Send + Sync`);
+/// reads of distinct or identical blocks may happen concurrently, and
+/// shared-ownership readers ([`crate::io::BlockReader::over_shared`])
+/// move `Arc`-wrapped backends between worker threads.
+pub trait StorageBackend: Send + Sync + std::fmt::Debug {
     /// The stored table's schema (attribute names and cardinalities).
     fn schema(&self) -> &Schema;
 

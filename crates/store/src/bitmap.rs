@@ -52,6 +52,47 @@ impl BitmapIndex {
         }
     }
 
+    /// Assembles an index directly from per-value presence rows — the
+    /// constructor behind [`crate::live`]'s incrementally maintained
+    /// bitmaps, where bits are set at append time instead of by a table
+    /// scan. `rows[v]` holds the presence words of value `v` (bit `b%64`
+    /// of word `b/64` ⇔ some row with value `v` lies in block `b`); rows
+    /// shorter than the stride are zero-padded, longer ones must carry no
+    /// bits at or beyond `num_blocks`.
+    ///
+    /// # Panics
+    /// Panics if `rows.len() != num_values` or a row sets a bit for a
+    /// block `>= num_blocks` (the caller handed over bits from rows that
+    /// are not part of the index's view).
+    pub(crate) fn from_value_rows(num_values: usize, num_blocks: usize, rows: &[Vec<u64>]) -> Self {
+        assert_eq!(rows.len(), num_values, "one presence row per value");
+        let stride = num_blocks.div_ceil(64);
+        let mut words = vec![0u64; num_values * stride];
+        for (v, row) in rows.iter().enumerate() {
+            for (w, &bits) in row.iter().enumerate() {
+                if w >= stride {
+                    assert_eq!(bits, 0, "value {v} has bits beyond block {num_blocks}");
+                    continue;
+                }
+                if w + 1 == stride && !num_blocks.is_multiple_of(64) {
+                    let valid = (1u64 << (num_blocks % 64)) - 1;
+                    assert_eq!(
+                        bits & !valid,
+                        0,
+                        "value {v} has bits beyond block {num_blocks}"
+                    );
+                }
+                words[v * stride + w] = bits;
+            }
+        }
+        BitmapIndex {
+            num_values,
+            num_blocks,
+            stride,
+            words,
+        }
+    }
+
     /// Number of distinct values indexed.
     pub fn num_values(&self) -> usize {
         self.num_values

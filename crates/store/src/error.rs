@@ -16,6 +16,9 @@ pub enum StoreError {
     /// The file is not a valid block file (bad magic, truncated header,
     /// inconsistent geometry).
     Format(String),
+    /// A write-side request violated the target's invariants (wrong row
+    /// arity, out-of-dictionary codes, ragged batch columns).
+    Invalid(String),
     /// A page failed its checksum: the stored data does not match what
     /// was written.
     Corrupt {
@@ -33,6 +36,7 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::Io(e) => write!(f, "storage I/O error: {e}"),
             StoreError::Format(msg) => write!(f, "invalid block file: {msg}"),
+            StoreError::Invalid(msg) => write!(f, "invalid request: {msg}"),
             StoreError::Corrupt {
                 attr,
                 block,

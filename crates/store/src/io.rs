@@ -15,6 +15,7 @@
 //! aggregate back into a whole-run view with [`IoStats::merge`] (or `+=`).
 
 use std::ops::Range;
+use std::sync::Arc;
 
 use crate::backend::{PageOrigin, StorageBackend};
 use crate::block::BlockLayout;
@@ -129,15 +130,21 @@ impl std::iter::Sum for IoStats {
     }
 }
 
-/// Where a reader's blocks come from. References only — cheap to copy,
-/// so sharding and cloning a reader never duplicates data.
-#[derive(Debug, Clone, Copy)]
+/// Where a reader's blocks come from. References or `Arc` handles only —
+/// cheap to clone, so sharding and cloning a reader never duplicates
+/// data.
+#[derive(Debug, Clone)]
 enum Source<'a> {
     /// Direct in-memory table access: `block_slices` is zero-copy.
     Mem(&'a Table),
     /// Any pluggable backend: pages are read into the reader's scratch
     /// buffers (and may fail).
     Backend(&'a dyn StorageBackend),
+    /// A shared-ownership backend: the reader co-owns the source, so it
+    /// can outlive the scope that created it (the seam live-table
+    /// snapshots ride through — a query service can admit a query over a
+    /// snapshot taken *inside* its serve scope).
+    Shared(Arc<dyn StorageBackend>),
 }
 
 /// Synchronous block reader over a storage source with a fixed layout.
@@ -175,6 +182,21 @@ impl<'a> BlockReader<'a> {
         BlockReader {
             layout: backend.layout(),
             source: Source::Backend(backend),
+            stats: IoStats::default(),
+            latency_ns_per_block: 0,
+            zbuf: Vec::new(),
+            xbuf: Vec::new(),
+        }
+    }
+
+    /// Creates a reader that co-owns its backend: the `'static` twin of
+    /// [`Self::over_backend`] for sources the caller cannot keep borrowed
+    /// long enough — e.g. a live-table snapshot taken mid-serve and
+    /// handed to scheduler tasks that outlive the submitting scope.
+    pub fn over_shared(backend: Arc<dyn StorageBackend>) -> BlockReader<'static> {
+        BlockReader {
+            layout: backend.layout(),
+            source: Source::Shared(backend),
             stats: IoStats::default(),
             latency_ns_per_block: 0,
             zbuf: Vec::new(),
@@ -251,43 +273,38 @@ impl<'a> BlockReader<'a> {
         if self.latency_ns_per_block > 0 {
             busy_wait_ns(self.latency_ns_per_block);
         }
-        let source = self.source;
-        match source {
+        let backend: &dyn StorageBackend = match &self.source {
             Source::Mem(table) => {
+                let table: &'a Table = table;
                 let range = self.layout.rows_of_block(b);
                 let z = &table.column(z_attr)[range.clone()];
                 let x = &table.column(x_attr)[range];
                 self.stats.blocks_read += 1;
                 self.stats.tuples_read += z.len() as u64;
-                Ok((z, x))
+                return Ok((z, x));
             }
-            Source::Backend(backend) => {
-                let origins = backend.read_block_pair_into(
-                    b,
-                    z_attr,
-                    x_attr,
-                    &mut self.zbuf,
-                    &mut self.xbuf,
-                )?;
-                for origin in origins {
-                    match origin {
-                        PageOrigin::CacheHit => self.stats.pages_cache_hit += 1,
-                        PageOrigin::PrefetchedHit => {
-                            // A prefetched page's first demand hit is still
-                            // a cache hit; the extra counter attributes it
-                            // to the readahead pipeline.
-                            self.stats.pages_cache_hit += 1;
-                            self.stats.pages_prefetch_hit += 1;
-                        }
-                        PageOrigin::CacheMiss => self.stats.pages_cache_miss += 1,
-                        PageOrigin::Memory => {}
-                    }
+            Source::Backend(backend) => *backend,
+            Source::Shared(backend) => &**backend,
+        };
+        let origins =
+            backend.read_block_pair_into(b, z_attr, x_attr, &mut self.zbuf, &mut self.xbuf)?;
+        for origin in origins {
+            match origin {
+                PageOrigin::CacheHit => self.stats.pages_cache_hit += 1,
+                PageOrigin::PrefetchedHit => {
+                    // A prefetched page's first demand hit is still
+                    // a cache hit; the extra counter attributes it
+                    // to the readahead pipeline.
+                    self.stats.pages_cache_hit += 1;
+                    self.stats.pages_prefetch_hit += 1;
                 }
-                self.stats.blocks_read += 1;
-                self.stats.tuples_read += self.zbuf.len() as u64;
-                Ok((&self.zbuf, &self.xbuf))
+                PageOrigin::CacheMiss => self.stats.pages_cache_miss += 1,
+                PageOrigin::Memory => {}
             }
         }
+        self.stats.blocks_read += 1;
+        self.stats.tuples_read += self.zbuf.len() as u64;
+        Ok((&self.zbuf, &self.xbuf))
     }
 
     /// Records that block `b` was deliberately skipped.

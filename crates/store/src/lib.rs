@@ -23,6 +23,12 @@
 //!   [`backend::StorageBackend::prefetch`] hints
 //!   ([`file::FileBackend`]) — plus fallible storage errors
 //!   ([`error::StoreError`]);
+//! * **live tables** ([`live::LiveTable`]): append ingestion into an
+//!   in-memory delta that seals into immutable checksummed segments,
+//!   serving cheap snapshot-isolated [`live::Snapshot`] views that
+//!   implement the same [`backend::StorageBackend`] reading contract —
+//!   queries run unchanged over a point-in-time view while writers keep
+//!   appending;
 //! * a block reader over any backend that accounts blocks read/skipped
 //!   and tuples touched, with an optional simulated per-block latency so
 //!   storage-media cost models can be explored ([`io::BlockReader`]), and
@@ -41,6 +47,7 @@ pub mod density;
 pub mod error;
 pub mod file;
 pub mod io;
+pub mod live;
 pub mod predicate;
 pub mod schema;
 pub mod shuffle;
@@ -55,7 +62,8 @@ pub use density::DensityMap;
 pub use error::StoreError;
 pub use file::{write_table, CacheStats, FileBackend};
 pub use io::{BlockReader, IoStats, ShardedBlockReader};
+pub use live::{LiveStats, LiveTable, LiveTableConfig, Snapshot};
 pub use predicate::Predicate;
 pub use schema::{AttrDef, Schema};
 pub use table::Table;
-pub use tempfile::TempBlockFile;
+pub use tempfile::{TempBlockDir, TempBlockFile};

@@ -1,0 +1,193 @@
+//! Point-in-time snapshots of a [`crate::live::LiveTable`].
+//!
+//! A snapshot is the live table's unit of read isolation: a *watermark*
+//! over the sealed segments (an `Arc` clone per segment — no data is
+//! copied) plus a frozen copy of the active delta's tail (at most one
+//! segment's worth of rows) and the exact per-attribute
+//! [`BitmapIndex`]es covering precisely those rows. It implements
+//! [`StorageBackend`], so everything built on the reading contract —
+//! all five executors, [`crate::io::BlockReader`] /
+//! [`crate::io::ShardedBlockReader`], prefetch hinting, the engine's
+//! query service — runs over a snapshot **unchanged**, while writers
+//! keep appending to the live table underneath.
+//!
+//! Consistency argument: every sealed segment is immutable from the
+//! moment it is frozen, the tail is copied under the same lock that
+//! serializes appends, and the bitmaps are frozen from the same locked
+//! state — so a snapshot is a *prefix of the append order*, bit-for-bit
+//! equal to the table a serial writer would have produced after the
+//! same rows, and never observes a torn row or a half-published
+//! segment. The `Mem → File` swap the sealer performs afterwards never
+//! touches a snapshot: it holds its own `Arc`s.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::backend::{PageOrigin, StorageBackend};
+use crate::bitmap::BitmapIndex;
+use crate::block::BlockLayout;
+use crate::error::Result;
+use crate::live::segment::SegmentEntry;
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// A consistent, immutable view of a live table at one instant; see the
+/// [module docs](self). Cheap to clone relative to the data: segments
+/// are shared by `Arc`, only the tail columns and bitmaps are owned.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub(crate) schema: Schema,
+    pub(crate) tuples_per_block: usize,
+    pub(crate) blocks_per_segment: usize,
+    pub(crate) entries: Vec<SegmentEntry>,
+    /// Rows covered by `entries` (`entries.len() * rows-per-segment`).
+    pub(crate) sealed_rows: usize,
+    /// Frozen copy of the active delta at snapshot time (one column per
+    /// attribute; all rows past `sealed_rows`).
+    pub(crate) tail: Vec<Vec<u32>>,
+    pub(crate) n_rows: usize,
+    /// Exact presence indexes over this snapshot's rows, one per
+    /// attribute, shared so a service can hand them to `'static` tasks.
+    pub(crate) bitmaps: Vec<Arc<BitmapIndex>>,
+}
+
+impl Snapshot {
+    /// Rows in this snapshot (sealed + tail).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Rows covered by sealed segments (the snapshot's watermark).
+    pub fn sealed_rows(&self) -> usize {
+        self.sealed_rows
+    }
+
+    /// Rows in the frozen tail (appended but not yet sealed at snapshot
+    /// time).
+    pub fn tail_rows(&self) -> usize {
+        self.n_rows - self.sealed_rows
+    }
+
+    /// Sealed segments visible to this snapshot.
+    pub fn num_segments(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The exact per-(value, block) presence index of one attribute,
+    /// frozen at snapshot time under the append lock — equal to
+    /// [`BitmapIndex::build`] over the materialized snapshot.
+    pub fn bitmap(&self, attr: usize) -> &BitmapIndex {
+        &self.bitmaps[attr]
+    }
+
+    /// Shared-ownership form of [`Self::bitmap`], for `'static` query
+    /// jobs that must co-own their index.
+    pub fn bitmap_arc(&self, attr: usize) -> Arc<BitmapIndex> {
+        Arc::clone(&self.bitmaps[attr])
+    }
+
+    /// Materializes the snapshot into one in-memory [`Table`] — the
+    /// "frozen copy at the same watermark" that consistency tests
+    /// compare executor runs against. Reads every sealed page (and so
+    /// can fail on storage errors).
+    pub fn to_table(&self) -> Result<Table> {
+        let mut columns: Vec<Vec<u32>> = (0..self.schema.len())
+            .map(|_| Vec::with_capacity(self.n_rows))
+            .collect();
+        let mut buf = Vec::new();
+        for (attr, col) in columns.iter_mut().enumerate() {
+            for entry in &self.entries {
+                match entry {
+                    SegmentEntry::Mem(t) => col.extend_from_slice(t.column(attr)),
+                    SegmentEntry::File(be) => {
+                        for b in 0..self.blocks_per_segment {
+                            be.read_block_into(b, attr, &mut buf)?;
+                            col.extend_from_slice(&buf);
+                        }
+                    }
+                }
+            }
+            col.extend_from_slice(&self.tail[attr]);
+        }
+        Ok(Table::new(self.schema.clone(), columns))
+    }
+
+    /// Maps a global block id to its location.
+    fn locate(&self, b: usize) -> BlockHome<'_> {
+        let sealed_blocks = self.entries.len() * self.blocks_per_segment;
+        if b < sealed_blocks {
+            BlockHome::Segment {
+                entry: &self.entries[b / self.blocks_per_segment],
+                local: b % self.blocks_per_segment,
+            }
+        } else {
+            let start = b * self.tuples_per_block - self.sealed_rows;
+            let end = ((b + 1) * self.tuples_per_block).min(self.n_rows) - self.sealed_rows;
+            BlockHome::Tail { rows: start..end }
+        }
+    }
+}
+
+enum BlockHome<'s> {
+    Segment {
+        entry: &'s SegmentEntry,
+        local: usize,
+    },
+    Tail {
+        rows: Range<usize>,
+    },
+}
+
+impl StorageBackend for Snapshot {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn layout(&self) -> BlockLayout {
+        BlockLayout::new(self.n_rows, self.tuples_per_block)
+    }
+
+    fn read_block_into(&self, b: usize, attr: usize, out: &mut Vec<u32>) -> Result<PageOrigin> {
+        assert!(attr < self.schema.len(), "attribute {attr} out of range");
+        assert!(b < self.layout().num_blocks(), "block {b} out of range");
+        match self.locate(b) {
+            BlockHome::Segment {
+                entry: SegmentEntry::Mem(t),
+                local,
+            } => {
+                let tpb = self.tuples_per_block;
+                out.clear();
+                out.extend_from_slice(&t.column(attr)[local * tpb..(local + 1) * tpb]);
+                Ok(PageOrigin::Memory)
+            }
+            BlockHome::Segment {
+                entry: SegmentEntry::File(be),
+                local,
+            } => be.read_block_into(local, attr, out),
+            BlockHome::Tail { rows } => {
+                out.clear();
+                out.extend_from_slice(&self.tail[attr][rows]);
+                Ok(PageOrigin::Memory)
+            }
+        }
+    }
+
+    fn prefetch(&self, blocks: Range<usize>) {
+        // Forward each sub-range to the file-backed segment that owns it
+        // (in-memory segments and the tail have nothing to warm). Hints
+        // stay advisory end to end: a segment without readahead workers
+        // simply drops its share.
+        let sealed_blocks = self.entries.len() * self.blocks_per_segment;
+        let clamped = blocks.start.min(sealed_blocks)..blocks.end.min(sealed_blocks);
+        let bps = self.blocks_per_segment;
+        let mut b = clamped.start;
+        while b < clamped.end {
+            let seg = b / bps;
+            let seg_end = ((seg + 1) * bps).min(clamped.end);
+            if let SegmentEntry::File(be) = &self.entries[seg] {
+                be.prefetch(b % bps..seg_end - seg * bps);
+            }
+            b = seg_end;
+        }
+    }
+}

@@ -48,6 +48,44 @@ impl Drop for TempBlockFile {
     }
 }
 
+/// A unique scratch *directory* in the system temp dir, removed
+/// recursively on drop (even on panic) — the segment-directory twin of
+/// [`TempBlockFile`], for tests and benches exercising
+/// [`crate::live::LiveTable`]'s sealed segment files. The directory is
+/// created eagerly so callers can hand the path straight to a sealer.
+#[derive(Debug)]
+pub struct TempBlockDir {
+    path: PathBuf,
+}
+
+impl TempBlockDir {
+    /// Creates `{temp_dir}/fastmatch_{tag}_{pid}_{n}.d/` and a guard that
+    /// removes it (and everything inside) on drop.
+    ///
+    /// # Panics
+    /// Panics if the directory cannot be created.
+    pub fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "fastmatch_{tag}_{}_{}.d",
+            std::process::id(),
+            NEXT_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).expect("creating temp block dir");
+        TempBlockDir { path }
+    }
+
+    /// The guarded directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempBlockDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,6 +112,17 @@ mod tests {
     fn drop_tolerates_missing_files() {
         let guard = TempBlockFile::new("never_written");
         drop(guard); // must not panic
+    }
+
+    #[test]
+    fn dir_guard_removes_recursively() {
+        let path = {
+            let guard = TempBlockDir::new("dirguard");
+            std::fs::write(guard.path().join("seg000.fmb"), b"x").unwrap();
+            assert!(guard.path().is_dir());
+            guard.path().to_path_buf()
+        };
+        assert!(!path.exists(), "guard must remove the directory on drop");
     }
 
     #[test]

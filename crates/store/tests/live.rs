@@ -1,0 +1,223 @@
+//! Live-table integration: snapshot isolation under concurrent append
+//! load — the soak test CI runs with fixed seeds.
+//!
+//! The unit tests inside `live/` cover the mechanics (segment rolls,
+//! sealing, bitmap freezing). These tests attack the *concurrency
+//! contract*: a snapshot taken at any instant, with appenders running
+//! full speed and segments sealing underneath, is a consistent prefix
+//! of the append order — per-appender subsequences intact, bitmaps
+//! exact, sealed and in-memory representations indistinguishable.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use fastmatch_store::backend::StorageBackend;
+use fastmatch_store::bitmap::BitmapIndex;
+use fastmatch_store::live::{LiveTable, LiveTableConfig};
+use fastmatch_store::schema::{AttrDef, Schema};
+use fastmatch_store::tempfile::TempBlockDir;
+
+/// Appender `w`'s `i`-th row: `z` carries the appender id, `x` the
+/// position in a per-appender deterministic payload sequence — so any
+/// snapshot can be checked for *per-appender prefix consistency*: the
+/// `x` codes of appender `w`'s rows, in snapshot order, must equal the
+/// first `n_w` elements of `w`'s payload sequence.
+fn payload(w: u32, i: u64) -> u32 {
+    ((i as u32).wrapping_mul(5).wrapping_add(w * 3)) % 16
+}
+
+fn soak_schema() -> Schema {
+    Schema::new(vec![AttrDef::new("who", 8), AttrDef::new("seq", 16)])
+}
+
+/// Runs the soak under one configuration and returns the total rows the
+/// final snapshot saw.
+fn run_soak(cfg: LiveTableConfig, appenders: u32, rows_each: u64, batch: usize) -> usize {
+    let live = LiveTable::new(soak_schema(), cfg).unwrap();
+    let stop_snapshots = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let appender_handles: Vec<_> = (0..appenders)
+            .map(|w| {
+                let live = &live;
+                scope.spawn(move || {
+                    let mut i = 0u64;
+                    while i < rows_each {
+                        let take = (batch as u64).min(rows_each - i) as usize;
+                        let who = vec![w; take];
+                        let seq: Vec<u32> = (0..take as u64).map(|j| payload(w, i + j)).collect();
+                        live.append_batch(&[who, seq]).unwrap();
+                        i += take as u64;
+                    }
+                })
+            })
+            .collect();
+        // Snapshot queriers racing the appenders: every snapshot must be
+        // per-appender prefix-consistent and bitmap-exact.
+        for q in 0..2 {
+            let live = &live;
+            let stop = &stop_snapshots;
+            scope.spawn(move || {
+                let mut checked = 0usize;
+                while !stop.load(Ordering::Relaxed) || checked == 0 {
+                    let snap = live.snapshot();
+                    let t = snap.to_table().unwrap();
+                    let mut next: Vec<u64> = vec![0; 8];
+                    for r in 0..t.n_rows() {
+                        let w = t.code(0, r);
+                        let x = t.code(1, r);
+                        let i = next[w as usize];
+                        assert_eq!(
+                            x,
+                            payload(w, i),
+                            "querier {q}: appender {w} row {i} out of order at snapshot row {r}"
+                        );
+                        next[w as usize] += 1;
+                    }
+                    // Batches are atomic: each appender's visible count is
+                    // a whole number of batches, except its final partial.
+                    for (w, &n) in next.iter().enumerate() {
+                        assert!(
+                            n % batch as u64 == 0 || n == rows_each,
+                            "querier {q}: appender {w} shows {n} rows (batch {batch})"
+                        );
+                    }
+                    // Bitmap exactness on a sampled block.
+                    let layout = snap.layout();
+                    if layout.num_blocks() > 0 {
+                        let b = checked % layout.num_blocks();
+                        for v in 0..8u32 {
+                            let truth = layout.rows_of_block(b).any(|r| t.code(0, r) == v);
+                            assert_eq!(snap.bitmap(0).block_has(v, b), truth, "v {v} block {b}");
+                        }
+                    }
+                    checked += 1;
+                }
+                assert!(checked > 0);
+            });
+        }
+        // Keep the queriers snapshotting for the appenders' whole
+        // lifetime, then release them.
+        for h in appender_handles {
+            h.join().unwrap();
+        }
+        stop_snapshots.store(true, Ordering::Relaxed);
+    });
+    let final_snap = live.snapshot();
+    let t = final_snap.to_table().unwrap();
+    assert_eq!(t.n_rows() as u64, appenders as u64 * rows_each);
+    // Final multiset: every appender contributed its full sequence.
+    let mut counts = [0u64; 8];
+    for r in 0..t.n_rows() {
+        counts[t.code(0, r) as usize] += 1;
+    }
+    for (w, &count) in counts.iter().enumerate().take(appenders as usize) {
+        assert_eq!(count, rows_each, "appender {w} lost rows");
+    }
+    t.n_rows()
+}
+
+#[test]
+fn soak_memory_only() {
+    let cfg = LiveTableConfig::default()
+        .with_tuples_per_block(32)
+        .with_blocks_per_segment(4);
+    run_soak(cfg, 4, 3_000, 37);
+}
+
+#[test]
+fn soak_with_background_sealing() {
+    let dir = TempBlockDir::new("live_soak_bg");
+    let cfg = LiveTableConfig::default()
+        .with_tuples_per_block(32)
+        .with_blocks_per_segment(4)
+        .with_segment_dir(dir.path());
+    let live_rows = run_soak(cfg, 4, 3_000, 41);
+    assert_eq!(live_rows, 12_000);
+}
+
+#[test]
+fn soak_with_inline_sealing() {
+    let dir = TempBlockDir::new("live_soak_inline");
+    let cfg = LiveTableConfig::default()
+        .with_tuples_per_block(32)
+        .with_blocks_per_segment(4)
+        .with_segment_dir(dir.path())
+        .with_background_sealer(false);
+    run_soak(cfg, 3, 2_000, 29);
+}
+
+/// Sealed (file) and in-memory segments must be indistinguishable to a
+/// reader: force both representations for the *same* data and compare
+/// blockwise, bitmaps included.
+#[test]
+fn sealed_and_memory_views_are_bit_identical() {
+    let dir = TempBlockDir::new("live_views");
+    let mk = |persist: bool| {
+        let mut cfg = LiveTableConfig::default()
+            .with_tuples_per_block(16)
+            .with_blocks_per_segment(3)
+            .with_background_sealer(false);
+        if persist {
+            cfg = cfg.with_segment_dir(dir.path());
+        }
+        let live = LiveTable::new(soak_schema(), cfg).unwrap();
+        for i in 0..500u64 {
+            live.append_row(&[(i % 8) as u32, payload((i % 8) as u32, i)])
+                .unwrap();
+        }
+        live
+    };
+    let persisted = mk(true);
+    let memory = mk(false);
+    assert!(persisted.stats().persisted_segments > 0);
+    assert_eq!(memory.stats().persisted_segments, 0);
+    let (sp, sm) = (persisted.snapshot(), memory.snapshot());
+    assert_eq!(sp.n_rows(), sm.n_rows());
+    let layout = sp.layout();
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    for attr in 0..2 {
+        for blk in 0..layout.num_blocks() {
+            sp.read_block_into(blk, attr, &mut a).unwrap();
+            sm.read_block_into(blk, attr, &mut b).unwrap();
+            assert_eq!(a, b, "attr {attr} block {blk}");
+        }
+    }
+}
+
+/// A snapshot's frozen bitmap equals a scan-built index over its
+/// materialization — under ongoing appends, for every attribute.
+#[test]
+fn snapshot_bitmaps_are_exact_under_load() {
+    let live = LiveTable::new(
+        soak_schema(),
+        LiveTableConfig::default()
+            .with_tuples_per_block(16)
+            .with_blocks_per_segment(2),
+    )
+    .unwrap();
+    std::thread::scope(|scope| {
+        let handle = {
+            let live = &live;
+            scope.spawn(move || {
+                for i in 0..4_000u64 {
+                    let w = (i % 8) as u32;
+                    live.append_row(&[w, payload(w, i)]).unwrap();
+                }
+            })
+        };
+        for _ in 0..10 {
+            let snap = live.snapshot();
+            let t = snap.to_table().unwrap();
+            let layout = snap.layout();
+            for attr in 0..2 {
+                let want = BitmapIndex::build(&t, attr, &layout);
+                let got = snap.bitmap(attr);
+                for v in 0..got.num_values() as u32 {
+                    for blk in 0..layout.num_blocks() {
+                        assert_eq!(got.block_has(v, blk), want.block_has(v, blk));
+                    }
+                }
+            }
+        }
+        handle.join().unwrap();
+    });
+}

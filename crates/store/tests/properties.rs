@@ -1,6 +1,8 @@
 //! Property-based tests for the storage substrate.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use fastmatch_store::binning::Binner;
 use fastmatch_store::bitmap::BitmapIndex;
@@ -10,6 +12,25 @@ use fastmatch_store::predicate::Predicate;
 use fastmatch_store::schema::{AttrDef, Schema};
 use fastmatch_store::shuffle::shuffle_table;
 use fastmatch_store::table::Table;
+
+/// A random AND/OR/Eq tree of bounded depth. Leaves reference any of
+/// `attrs` attributes with any code below `card`; connectives may be
+/// empty (`And([])` ≡ true, `Or([])` ≡ false), covering the degenerate
+/// corners of the conservativeness contract.
+fn arb_predicate_tree(rng: &mut StdRng, attrs: usize, card: u32, depth: usize) -> Predicate {
+    if depth == 0 || rng.gen_range(0..3u32) == 0 {
+        return Predicate::eq(rng.gen_range(0..attrs), rng.gen_range(0..card));
+    }
+    let arity = rng.gen_range(0..4usize);
+    let parts = (0..arity)
+        .map(|_| arb_predicate_tree(rng, attrs, card, depth - 1))
+        .collect();
+    if rng.gen_range(0..2u32) == 0 {
+        Predicate::And(parts)
+    } else {
+        Predicate::Or(parts)
+    }
+}
 
 fn arb_table(max_rows: usize, card: u32) -> impl Strategy<Value = Table> {
     prop::collection::vec(0..card, 1..max_rows).prop_map(move |col| {
@@ -113,6 +134,58 @@ proptest! {
                 }
                 let est = estimate_block_count(p, &maps, &layout, b);
                 prop_assert!(est >= truth, "{p:?} block {b}: est {est} < {truth}");
+            }
+        }
+    }
+
+    /// Arbitrary AND/OR/Eq predicate *trees* (not just the three fixed
+    /// shapes above) over multi-attribute tables with only *partial*
+    /// index coverage: the bitmap-based block test must never reject a
+    /// block that contains a row-level match. This is the contract the
+    /// AnyActive ladder and every block-skipping policy stand on — a
+    /// false negative here silently drops matching tuples.
+    #[test]
+    fn random_predicate_trees_are_block_conservative(
+        cols in prop::collection::vec(prop::collection::vec(0u32..5, 40..160), 3usize),
+        bs in 1usize..30,
+        tree_seed in 0u64..1_000_000,
+        indexed_mask in 1usize..8, // nonempty subset of the 3 attributes
+    ) {
+        let n = cols[0].len();
+        // Ragged columns can come out of independent vec strategies;
+        // truncate to the shortest so the table is well-formed.
+        let shortest = cols.iter().map(|c| c.len()).min().unwrap().min(n);
+        let cols: Vec<Vec<u32>> = cols.iter().map(|c| c[..shortest].to_vec()).collect();
+        let schema = Schema::new(vec![
+            AttrDef::new("a", 5),
+            AttrDef::new("b", 5),
+            AttrDef::new("c", 5),
+        ]);
+        let table = Table::new(schema, cols);
+        let layout = BlockLayout::new(shortest, bs);
+        let built: Vec<BitmapIndex> = (0..3)
+            .map(|a| BitmapIndex::build(&table, a, &layout))
+            .collect();
+        let indexes: Vec<(usize, &BitmapIndex)> = (0..3)
+            .filter(|a| indexed_mask >> a & 1 == 1)
+            .map(|a| (a, &built[a]))
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(tree_seed);
+        for _ in 0..8 {
+            let p = arb_predicate_tree(&mut rng, 3, 5, 3);
+            for b in 0..layout.num_blocks() {
+                let truth = layout.rows_of_block(b).any(|r| p.matches_row(&table, r));
+                if truth {
+                    prop_assert!(
+                        p.may_match_block(&indexes, b),
+                        "false negative: {p:?} block {b} (indexed {indexed_mask:#05b})"
+                    );
+                }
+                // With *full* index coverage, Eq leaves are exact; whole
+                // trees may still over-approximate (AND of bits set by
+                // different rows), which is allowed — only the false
+                // negative direction is a bug.
             }
         }
     }

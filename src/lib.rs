@@ -67,10 +67,10 @@ pub mod prelude {
     pub use fastmatch_engine::result::MatchOutput;
     pub use fastmatch_engine::service::{
         GuaranteeState, QueryHandle, QueryOutcome, QueryProgress, QueryRequest, QueryService,
-        ServiceConfig, ServiceError,
+        ServiceConfig, ServiceError, SnapshotRequest,
     };
     pub use fastmatch_store::{
-        BitmapIndex, BlockLayout, FileBackend, MemBackend, StorageBackend, StoreError, Table,
-        TempBlockFile,
+        BitmapIndex, BlockLayout, FileBackend, LiveStats, LiveTable, LiveTableConfig, MemBackend,
+        Snapshot, StorageBackend, StoreError, Table, TempBlockDir, TempBlockFile,
     };
 }
