@@ -5,18 +5,35 @@
 //!    (appender pays the disk write), and background sealing (the
 //!    sealer thread absorbs it) — so the cost of durability and the
 //!    benefit of taking it off the append path are both visible.
+//!
+//!    Methodology: every regime gets a **cold table per run**, one
+//!    unmeasured warmup run, and the reported figure is the
+//!    **median of 3 measured runs**. Earlier revisions measured each
+//!    regime once in a fixed order, so first-touch page faults and
+//!    allocator warm-up were all charged to whichever regime ran
+//!    first — which is how "background sealer" once clocked *faster*
+//!    than memory-only appends (106M vs 75M rows/s) on a single core,
+//!    where the sealer thread can only steal cycles from the appender.
 //! 2. **Query latency under ingest**: FastMatch latency over fresh
-//!    snapshots while appenders run full speed, versus the same queries
-//!    over a quiescent table — the HTAP headline: how much does write
-//!    traffic tax read latency, and does isolation hold (matched sets
-//!    are asserted identical to a frozen-copy run at each watermark).
+//!    snapshots while appenders run, versus the same queries over a
+//!    quiescent table — the HTAP headline: how much does write traffic
+//!    tax read latency, and does isolation hold (matched sets are
+//!    asserted identical to the plants at each watermark). Two ingest
+//!    regimes are measured from cold preloaded tables: an
+//!    **unthrottled** writer (the latency-collapse baseline) and a
+//!    **budgeted** writer capped by the live table's append token
+//!    bucket (`FASTMATCH_LIVE_BUDGET` rows/s) — the isolation story:
+//!    bounding the appender's budget returns the CPU to readers.
 //!
 //! Emits a machine-readable summary to `BENCH_live.json` (current
-//! working directory) so CI can archive the perf trajectory.
+//! working directory) so CI can archive the perf trajectory. The
+//! headline `under_ingest_p50_ms` is the budgeted-writer regime;
+//! the unthrottled collapse is kept alongside for the delta.
 //!
 //! Scale knobs: `FASTMATCH_LIVE_ROWS` (default 400,000 append rows),
 //! `FASTMATCH_BENCH_ROWS` (default 150,000 query-phase rows),
 //! `FASTMATCH_LIVE_BATCH` (default 1,024 rows/append batch),
+//! `FASTMATCH_LIVE_BUDGET` (default 5,000,000 rows/s appender budget),
 //! `FASTMATCH_SEED` (default 42).
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -29,7 +46,7 @@ use fastmatch_data::shapes::uniform;
 use fastmatch_data::AppendBatches;
 use fastmatch_engine::exec::{Executor, FastMatchExec};
 use fastmatch_engine::query::QueryJob;
-use fastmatch_store::live::{LiveTable, LiveTableConfig};
+use fastmatch_store::live::{LiveStats, LiveTable, LiveTableConfig};
 use fastmatch_store::table::Table;
 use fastmatch_store::tempfile::TempBlockDir;
 
@@ -81,16 +98,21 @@ impl AppendResult {
     }
 }
 
-fn bench_append(
+/// One cold-table append run: fresh `LiveTable` (and fresh segment dir
+/// when sealing) so no run inherits another's page cache or file state.
+fn append_once(
     label: &'static str,
     table: &Table,
     batch: usize,
-    dir: Option<&std::path::Path>,
+    sealing: bool,
     background: bool,
 ) -> AppendResult {
+    let _dir;
     let mut cfg = LiveTableConfig::default().with_background_sealer(background);
-    if let Some(dir) = dir {
-        cfg = cfg.with_segment_dir(dir);
+    if sealing {
+        let dir = TempBlockDir::new("live_ingest");
+        cfg = cfg.with_segment_dir(dir.path());
+        _dir = dir; // keep the directory alive until the table drops
     }
     let live = LiveTable::new(table.schema().clone(), cfg).unwrap();
     let t0 = Instant::now();
@@ -110,6 +132,22 @@ fn bench_append(
     }
 }
 
+/// Cold table per run, one unmeasured warmup, median of 3 by wall time.
+fn bench_append(
+    label: &'static str,
+    table: &Table,
+    batch: usize,
+    sealing: bool,
+    background: bool,
+) -> AppendResult {
+    let _warmup = append_once(label, table, batch, sealing, background);
+    let mut runs: Vec<AppendResult> = (0..3)
+        .map(|_| append_once(label, table, batch, sealing, background))
+        .collect();
+    runs.sort_by_key(|r| r.wall);
+    runs.swap_remove(1)
+}
+
 // ---------------------------------------------------- query under ingest
 
 struct QueryPhase {
@@ -127,23 +165,37 @@ fn percentile(sorted: &[Duration], q: f64) -> Duration {
 /// Runs `queries` FastMatch queries over fresh snapshots of `live`,
 /// asserting each result equals the plants (isolation + correctness).
 /// Any concurrent ingest load is arranged by the caller's thread scope.
-fn query_phase(live: &LiveTable, queries: usize, seed: u64) -> QueryPhase {
+///
+/// Every query runs the **same** HistSim configuration (`cfg`, sized
+/// for the preloaded table) regardless of the snapshot's watermark:
+/// the planted value rates are proportions, so the (ε, δ) sample
+/// requirement does not grow with row count, and holding the
+/// statistical task fixed means the latency delta between phases
+/// measures *ingest interference*, not "bigger tables take more
+/// samples". (An earlier revision resized `stage1_samples` to each
+/// snapshot, which inflated the under-ingest figure with data-growth
+/// cost that has nothing to do with writers competing for the core.)
+/// The first query is an unmeasured warmup — it pays the cold caches.
+fn query_phase(live: &LiveTable, cfg: &HistSimConfig, queries: usize, seed: u64) -> QueryPhase {
     let mut latencies = Vec::with_capacity(queries);
     let mut watermark_first = 0usize;
     let mut watermark_last = 0usize;
-    for q in 0..queries {
+    for q in 0..queries + 1 {
         let snap = live.snapshot();
-        if q == 0 {
+        if q == 1 {
             watermark_first = snap.n_rows();
         }
-        watermark_last = snap.n_rows();
-        let cfg = config(snap.n_rows());
-        let job = QueryJob::from_snapshot(&snap, 0, 1, uniform(8), cfg);
+        if q > 0 {
+            watermark_last = snap.n_rows();
+        }
+        let job = QueryJob::from_snapshot(&snap, 0, 1, uniform(8), cfg.clone());
         let t0 = Instant::now();
         let out = FastMatchExec::with_lookahead(64)
             .run(&job, seed.wrapping_add(q as u64))
             .expect("query under ingest failed");
-        latencies.push(t0.elapsed());
+        if q > 0 {
+            latencies.push(t0.elapsed());
+        }
         let mut ids = out.candidate_ids();
         ids.sort_unstable();
         assert_eq!(
@@ -160,10 +212,80 @@ fn query_phase(live: &LiveTable, queries: usize, seed: u64) -> QueryPhase {
     }
 }
 
+struct IngestRegime {
+    phase: QueryPhase,
+    appended: u64,
+    writer_wall: Duration,
+    stats: LiveStats,
+}
+
+impl IngestRegime {
+    fn append_rows_per_sec(&self) -> f64 {
+        self.appended as f64 / self.writer_wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Cold table per regime: preload `query_table`, then run the query
+/// phase while a writer streams copies of `extra` in — unthrottled when
+/// `budget` is `None`, through the live table's append token bucket
+/// otherwise.
+fn query_under_ingest(
+    query_table: &Table,
+    extra: &Table,
+    cfg: &HistSimConfig,
+    batch: usize,
+    budget: Option<u64>,
+    queries: usize,
+    seed: u64,
+) -> IngestRegime {
+    let mut live_cfg = LiveTableConfig::default();
+    if let Some(rows_per_sec) = budget {
+        live_cfg = live_cfg.with_append_budget(rows_per_sec);
+    }
+    let live = LiveTable::new(query_table.schema().clone(), live_cfg).unwrap();
+    // The preload shares the bucket (costing at most a few ms once) and
+    // leaves it drained, so the concurrent writer below starts at the
+    // steady-state budget rate rather than with a free burst.
+    for cols in AppendBatches::new(query_table.clone(), 8_192) {
+        live.append_batch(&cols).unwrap();
+    }
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let writer = {
+            let live = &live;
+            let stop = &stop;
+            scope.spawn(move || {
+                let t0 = Instant::now();
+                let mut appended = 0u64;
+                'outer: loop {
+                    for cols in AppendBatches::new(extra.clone(), batch) {
+                        if stop.load(Ordering::Relaxed) {
+                            break 'outer;
+                        }
+                        appended += cols[0].len() as u64;
+                        live.append_batch(&cols).unwrap();
+                    }
+                }
+                (appended, t0.elapsed())
+            })
+        };
+        let phase = query_phase(&live, cfg, queries, seed);
+        stop.store(true, Ordering::Relaxed);
+        let (appended, writer_wall) = writer.join().unwrap();
+        IngestRegime {
+            phase,
+            appended,
+            writer_wall,
+            stats: live.stats(),
+        }
+    })
+}
+
 fn main() {
     let append_rows = env_usize("FASTMATCH_LIVE_ROWS", 400_000).max(10_000);
     let query_rows = env_usize("FASTMATCH_BENCH_ROWS", 150_000).max(50_000);
     let batch = env_usize("FASTMATCH_LIVE_BATCH", 1_024).max(1);
+    let budget = env_usize("FASTMATCH_LIVE_BUDGET", 5_000_000).max(1) as u64;
     let seed = env_usize("FASTMATCH_SEED", 42) as u64;
     let queries = 6usize;
 
@@ -177,28 +299,27 @@ fn main() {
     let t0 = Instant::now();
     let append_table = fixture(append_rows, seed);
     println!(
-        "# generated {} append rows in {:.2?}; batch = {batch} rows\n",
+        "# generated {} append rows in {:.2?}; batch = {batch} rows",
         append_rows,
         t0.elapsed()
     );
-    let dir_inline = TempBlockDir::new("live_ingest_inline");
-    let dir_bg = TempBlockDir::new("live_ingest_bg");
+    println!("# per regime: cold table per run, 1 warmup + median of 3 measured runs\n");
     let results = [
-        bench_append("memory-only (no sealing)", &append_table, batch, None, true),
+        bench_append(
+            "memory-only (no sealing)",
+            &append_table,
+            batch,
+            false,
+            true,
+        ),
         bench_append(
             "inline sealing (appender pays)",
             &append_table,
             batch,
-            Some(dir_inline.path()),
+            true,
             false,
         ),
-        bench_append(
-            "background sealer",
-            &append_table,
-            batch,
-            Some(dir_bg.path()),
-            true,
-        ),
+        bench_append("background sealer", &append_table, batch, true, true),
     ];
     println!(
         "{}",
@@ -226,56 +347,46 @@ fn main() {
     // ---- query latency under ingest ---------------------------------
     // Quiescent baseline: the full query table, no writers.
     let query_table = fixture(query_rows, seed ^ 0x51);
+    // One statistical task for every phase and watermark; see
+    // `query_phase` for why it must not track the snapshot size.
+    let qcfg = config(query_rows);
     let quiet_live =
         LiveTable::new(query_table.schema().clone(), LiveTableConfig::default()).unwrap();
     for cols in AppendBatches::new(query_table.clone(), 8_192) {
         quiet_live.append_batch(&cols).unwrap();
     }
-    let quiet = query_phase(&quiet_live, queries, seed);
+    let quiet = query_phase(&quiet_live, &qcfg, queries, seed);
 
-    // Under ingest: preload the same table, then run identical queries
-    // while appenders stream another copy in at full speed.
-    let busy_live =
-        LiveTable::new(query_table.schema().clone(), LiveTableConfig::default()).unwrap();
-    for cols in AppendBatches::new(query_table.clone(), 8_192) {
-        busy_live.append_batch(&cols).unwrap();
-    }
     let extra = fixture(append_rows, seed ^ 0x77);
-    let stop = AtomicBool::new(false);
-    let busy = std::thread::scope(|scope| {
-        let writer = {
-            let busy_live = &busy_live;
-            let extra = &extra;
-            let stop = &stop;
-            scope.spawn(move || {
-                let mut appended = 0u64;
-                'outer: loop {
-                    for cols in AppendBatches::new(extra.clone(), batch) {
-                        if stop.load(Ordering::Relaxed) {
-                            break 'outer;
-                        }
-                        appended += cols[0].len() as u64;
-                        busy_live.append_batch(&cols).unwrap();
-                    }
-                }
-                appended
-            })
-        };
-        let phase = query_phase(&busy_live, queries, seed);
-        stop.store(true, Ordering::Relaxed);
-        let appended = writer.join().unwrap();
+    let unthrottled = query_under_ingest(&query_table, &extra, &qcfg, batch, None, queries, seed);
+    let budgeted = query_under_ingest(
+        &query_table,
+        &extra,
+        &qcfg,
+        batch,
+        Some(budget),
+        queries,
+        seed,
+    );
+    for (label, r) in [("unthrottled", &unthrottled), ("budgeted", &budgeted)] {
         println!(
-            "# ingest load appended {appended} rows while {queries} queries ran (watermarks {} → {})",
-            phase.watermark_first, phase.watermark_last
+            "# {label} ingest: {} rows appended at {:.0} rows/s while {queries} queries ran \
+             (watermarks {} → {}; throttled {} times for {:.1} ms total)",
+            r.appended,
+            r.append_rows_per_sec(),
+            r.phase.watermark_first,
+            r.phase.watermark_last,
+            r.stats.throttled_appends,
+            r.stats.throttle_wait_ns as f64 / 1e6,
         );
-        phase
-    });
+    }
 
     let lat_row = |label: &str, p: &QueryPhase| {
         vec![
             label.to_string(),
             queries.to_string(),
             format!("{:.1}", percentile(&p.latencies, 0.5).as_secs_f64() * 1e3),
+            format!("{:.1}", percentile(&p.latencies, 0.99).as_secs_f64() * 1e3),
             format!(
                 "{:.1}",
                 p.latencies.iter().map(|d| d.as_secs_f64()).sum::<f64>() / p.latencies.len() as f64
@@ -291,15 +402,23 @@ fn main() {
                 "FastMatch over snapshots",
                 "queries",
                 "p50 ms",
+                "p99 ms",
                 "mean ms",
                 "final watermark"
             ],
-            &[lat_row("quiescent", &quiet), lat_row("under ingest", &busy)],
+            &[
+                lat_row("quiescent", &quiet),
+                lat_row("unthrottled ingest", &unthrottled.phase),
+                lat_row("budgeted ingest", &budgeted.phase),
+            ],
         )
     );
     println!("# matched sets asserted identical to the plants at every watermark\n");
 
-    // Machine-readable summary for CI's perf trajectory.
+    // Machine-readable summary for CI's perf trajectory. The headline
+    // `under_ingest_p50_ms` is the budgeted regime — the configuration
+    // the scheduler work targets — with the unthrottled collapse kept
+    // alongside for the delta.
     let json = format!(
         concat!(
             "{{\n",
@@ -307,6 +426,7 @@ fn main() {
             "  \"append\": {{\n",
             "    \"rows\": {},\n",
             "    \"batch_rows\": {},\n",
+            "    \"runs_per_regime\": 3,\n",
             "    \"memory_rows_per_sec\": {:.0},\n",
             "    \"inline_seal_rows_per_sec\": {:.0},\n",
             "    \"background_seal_rows_per_sec\": {:.0},\n",
@@ -316,6 +436,13 @@ fn main() {
             "    \"queries\": {},\n",
             "    \"quiescent_p50_ms\": {:.3},\n",
             "    \"under_ingest_p50_ms\": {:.3},\n",
+            "    \"under_ingest_p99_ms\": {:.3},\n",
+            "    \"under_ingest_unthrottled_p50_ms\": {:.3},\n",
+            "    \"append_budget_rows_per_sec\": {},\n",
+            "    \"achieved_append_rows_per_sec\": {:.0},\n",
+            "    \"unthrottled_append_rows_per_sec\": {:.0},\n",
+            "    \"throttled_appends\": {},\n",
+            "    \"coalesced_deltas\": {},\n",
             "    \"quiescent_rows\": {},\n",
             "    \"final_watermark\": {},\n",
             "    \"matched_sets_stable\": true\n",
@@ -330,9 +457,16 @@ fn main() {
         results[1].persisted,
         queries,
         percentile(&quiet.latencies, 0.5).as_secs_f64() * 1e3,
-        percentile(&busy.latencies, 0.5).as_secs_f64() * 1e3,
+        percentile(&budgeted.phase.latencies, 0.5).as_secs_f64() * 1e3,
+        percentile(&budgeted.phase.latencies, 0.99).as_secs_f64() * 1e3,
+        percentile(&unthrottled.phase.latencies, 0.5).as_secs_f64() * 1e3,
+        budget,
+        budgeted.append_rows_per_sec(),
+        unthrottled.append_rows_per_sec(),
+        budgeted.stats.throttled_appends,
+        budgeted.stats.coalesced_deltas,
         quiet.watermark_last,
-        busy.watermark_last,
+        budgeted.phase.watermark_last,
     );
     std::fs::write("BENCH_live.json", &json).expect("writing BENCH_live.json failed");
     println!("# wrote BENCH_live.json");

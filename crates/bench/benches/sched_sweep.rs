@@ -1,0 +1,393 @@
+//! `sched_sweep` — worker-count sweep over the `QueryService`
+//! scheduler: the same closed-loop query mix at 1..=N workers, run once
+//! with the fixed block quantum and once with adaptive quantum sizing,
+//! so the two policies' qps / p50 / p99 trajectories can be compared
+//! per thread count. A second section replays the live-table serving
+//! regime — queries over per-admission snapshots while a budgeted
+//! appender streams rows in — under both policies, which is where
+//! quantum sizing earns its keep: on saturated cores, oversized quanta
+//! turn into head-of-line blocking for every other admitted query.
+//!
+//! Scheduler-level counters (`quanta`, `steals`) come from
+//! `QueryService::sched_stats`, so the report shows not just the
+//! latencies but how much work-stealing actually happened per cell.
+//!
+//! Emits `BENCH_sched.json` (current working directory) for CI's perf
+//! trajectory, alongside `BENCH_service.json` / `BENCH_live.json`.
+//!
+//! Scale knobs: `FASTMATCH_SWEEP_WORKERS` (default 4; CI smoke uses 2),
+//! `FASTMATCH_BENCH_ROWS` (default 150,000),
+//! `FASTMATCH_SWEEP_QUERIES` (queries per cell, default 12),
+//! `FASTMATCH_LIVE_BUDGET` (appender rows/s, default 5,000,000),
+//! `FASTMATCH_SEED` (default 42).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fastmatch_bench::report::render_table;
+use fastmatch_core::histsim::HistSimConfig;
+use fastmatch_data::gen::{conditional_with_planted, generate_table, ColumnGen, ColumnSpec};
+use fastmatch_data::shapes::uniform;
+use fastmatch_data::AppendBatches;
+use fastmatch_engine::service::{
+    QueryOutcome, QueryRequest, QueryService, SchedStats, ServiceConfig, SnapshotRequest,
+};
+use fastmatch_store::backend::MemBackend;
+use fastmatch_store::bitmap::BitmapIndex;
+use fastmatch_store::block::BlockLayout;
+use fastmatch_store::live::{LiveTable, LiveTableConfig};
+use fastmatch_store::table::Table;
+
+const ADAPTIVE_TARGET: Duration = Duration::from_micros(500);
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fixture(rows: usize, seed: u64) -> Table {
+    let dists = conditional_with_planted(
+        60,
+        &uniform(8),
+        &[(0, 0.0), (2, 0.015), (5, 0.03), (9, 0.04), (15, 0.05)],
+        0.20,
+        seed ^ 0xab,
+    );
+    let specs = vec![
+        ColumnSpec::new("z", 60, ColumnGen::PrimaryZipf { s: 1.2 }),
+        ColumnSpec::new("x", 8, ColumnGen::Conditional { parent: 0, dists }),
+    ];
+    generate_table(&specs, rows, seed)
+}
+
+fn config(rows: usize) -> HistSimConfig {
+    HistSimConfig {
+        k: 5,
+        epsilon: 0.1,
+        delta: 0.05,
+        sigma: 0.01,
+        stage1_samples: ((rows as u64) / 10).clamp(10_000, 100_000),
+        ..HistSimConfig::default()
+    }
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+#[derive(Clone, Copy)]
+struct Cell {
+    qps: f64,
+    p50: Duration,
+    p99: Duration,
+    sched: SchedStats,
+}
+
+impl Cell {
+    fn from_run(latencies: &mut [Duration], makespan: Duration, sched: SchedStats) -> Cell {
+        latencies.sort_unstable();
+        Cell {
+            qps: latencies.len() as f64 / makespan.as_secs_f64(),
+            p50: percentile(latencies, 0.50),
+            p99: percentile(latencies, 0.99),
+            sched,
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "\"qps\": {:.4}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"quanta\": {}, \"steals\": {}",
+            self.qps,
+            self.p50.as_secs_f64() * 1e3,
+            self.p99.as_secs_f64() * 1e3,
+            self.sched.quanta,
+            self.sched.steals,
+        )
+    }
+}
+
+fn policy_config(workers: usize, adaptive: bool) -> ServiceConfig {
+    let cfg = ServiceConfig::default().with_workers(workers);
+    if adaptive {
+        cfg.with_adaptive_quantum(ADAPTIVE_TARGET)
+    } else {
+        cfg
+    }
+}
+
+/// Closed-loop mix over a static in-memory backend: waves of
+/// `concurrency` queries until `queries` have finished.
+fn run_static_cell(
+    backend: &MemBackend<'_>,
+    bitmap: &BitmapIndex,
+    cfg: &HistSimConfig,
+    svc_cfg: ServiceConfig,
+    queries: usize,
+    concurrency: usize,
+    seed: u64,
+) -> Cell {
+    let mut latencies: Vec<Duration> = Vec::with_capacity(queries);
+    let started = Instant::now();
+    let sched = QueryService::serve(backend, svc_cfg, |svc| {
+        let mut submitted = 0usize;
+        while submitted < queries {
+            let wave = concurrency.min(queries - submitted);
+            let handles: Vec<_> = (0..wave)
+                .map(|i| {
+                    svc.submit(
+                        QueryRequest::new(bitmap, 0, 1, uniform(8), cfg.clone())
+                            .with_seed(seed.wrapping_add(1000 + (submitted + i) as u64)),
+                    )
+                    .expect("admission failed")
+                })
+                .collect();
+            for h in &handles {
+                match h.wait() {
+                    QueryOutcome::Finished(out) => latencies.push(out.stats.wall),
+                    other => panic!("query did not finish: {other:?}"),
+                }
+            }
+            submitted += wave;
+        }
+        svc.sched_stats()
+    });
+    Cell::from_run(&mut latencies, started.elapsed(), sched)
+}
+
+/// Live serving regime: per-admission snapshots of a budget-throttled
+/// live table while an appender streams rows in, closed loop at 2.
+/// Returns the cell plus the appender's achieved rows/sec.
+fn run_live_cell(
+    query_table: &Table,
+    extra: &Table,
+    cfg: &HistSimConfig,
+    svc_cfg: ServiceConfig,
+    budget: u64,
+    queries: usize,
+    seed: u64,
+) -> (Cell, f64) {
+    let concurrency = 2usize;
+    let live = LiveTable::new(
+        query_table.schema().clone(),
+        LiveTableConfig::default().with_append_budget(budget),
+    )
+    .unwrap();
+    for cols in AppendBatches::new(query_table.clone(), 8_192) {
+        live.append_batch(&cols).unwrap();
+    }
+    let stop = AtomicBool::new(false);
+    let mut latencies: Vec<Duration> = Vec::with_capacity(queries);
+    let started = Instant::now();
+    let (sched, append_rate) = std::thread::scope(|scope| {
+        let writer = {
+            let live = &live;
+            let stop = &stop;
+            scope.spawn(move || {
+                let t0 = Instant::now();
+                let mut appended = 0u64;
+                'outer: loop {
+                    for cols in AppendBatches::new(extra.clone(), 1_024) {
+                        if stop.load(Ordering::Relaxed) {
+                            break 'outer;
+                        }
+                        appended += cols[0].len() as u64;
+                        live.append_batch(&cols).unwrap();
+                    }
+                }
+                appended as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+            })
+        };
+        // The service needs *a* shared backend; every query here rides
+        // its own per-admission snapshot, so the preload snapshot only
+        // anchors the serve scope.
+        let base = live.snapshot();
+        let sched = QueryService::serve(&base, svc_cfg, |svc| {
+            let mut submitted = 0usize;
+            while submitted < queries {
+                let wave = concurrency.min(queries - submitted);
+                let handles: Vec<_> = (0..wave)
+                    .map(|i| {
+                        let snap = Arc::new(live.snapshot());
+                        svc.submit_snapshot(
+                            snap,
+                            SnapshotRequest::new(0, 1, uniform(8), cfg.clone())
+                                .with_seed(seed.wrapping_add(5000 + (submitted + i) as u64)),
+                        )
+                        .expect("admission failed")
+                    })
+                    .collect();
+                for h in &handles {
+                    match h.wait() {
+                        QueryOutcome::Finished(out) => latencies.push(out.stats.wall),
+                        other => panic!("query did not finish: {other:?}"),
+                    }
+                }
+                submitted += wave;
+            }
+            svc.sched_stats()
+        });
+        stop.store(true, Ordering::Relaxed);
+        (sched, writer.join().unwrap())
+    });
+    (
+        Cell::from_run(&mut latencies, started.elapsed(), sched),
+        append_rate,
+    )
+}
+
+fn main() {
+    let max_workers = env_usize("FASTMATCH_SWEEP_WORKERS", 4).max(1);
+    let rows = env_usize("FASTMATCH_BENCH_ROWS", 150_000).max(50_000);
+    let queries = env_usize("FASTMATCH_SWEEP_QUERIES", 12).max(1);
+    let budget = env_usize("FASTMATCH_LIVE_BUDGET", 5_000_000).max(1) as u64;
+    let seed = env_usize("FASTMATCH_SEED", 42) as u64;
+    let concurrency = 4usize;
+
+    println!("== sched_sweep: fixed vs adaptive quanta across 1..={max_workers} workers ==\n");
+    println!(
+        "# host parallelism: {} core(s); {queries} queries per cell, closed loop at {concurrency}",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let table = fixture(rows, seed);
+    let tpb = 150usize;
+    let layout = BlockLayout::new(table.n_rows(), tpb);
+    let bitmap = BitmapIndex::build(&table, 0, &layout);
+    let backend = MemBackend::new(&table, layout);
+    let cfg = config(rows);
+
+    // ---- static sweep -----------------------------------------------
+    let mut table_rows = Vec::new();
+    let mut sweep_json = Vec::new();
+    for workers in 1..=max_workers {
+        let fixed = run_static_cell(
+            &backend,
+            &bitmap,
+            &cfg,
+            policy_config(workers, false),
+            queries,
+            concurrency,
+            seed,
+        );
+        let adaptive = run_static_cell(
+            &backend,
+            &bitmap,
+            &cfg,
+            policy_config(workers, true),
+            queries,
+            concurrency,
+            seed,
+        );
+        for (policy, cell) in [("fixed", &fixed), ("adaptive", &adaptive)] {
+            table_rows.push(vec![
+                workers.to_string(),
+                policy.to_string(),
+                format!("{:.2}", cell.qps),
+                format!("{:.1}", cell.p50.as_secs_f64() * 1e3),
+                format!("{:.1}", cell.p99.as_secs_f64() * 1e3),
+                cell.sched.quanta.to_string(),
+                cell.sched.steals.to_string(),
+            ]);
+            sweep_json.push(format!(
+                "    {{ \"workers\": {}, \"policy\": \"{}\", {} }}",
+                workers,
+                policy,
+                cell.json()
+            ));
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["workers", "policy", "qps", "p50 ms", "p99 ms", "quanta", "steals"],
+            &table_rows
+        )
+    );
+
+    // ---- live interference ------------------------------------------
+    let extra = fixture(rows, seed ^ 0x77);
+    let (live_fixed, rate_fixed) = run_live_cell(
+        &table,
+        &extra,
+        &cfg,
+        policy_config(max_workers, false),
+        budget,
+        queries,
+        seed,
+    );
+    let (live_adaptive, rate_adaptive) = run_live_cell(
+        &table,
+        &extra,
+        &cfg,
+        policy_config(max_workers, true),
+        budget,
+        queries,
+        seed,
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "live serving",
+                "qps",
+                "p50 ms",
+                "p99 ms",
+                "steals",
+                "append rows/s"
+            ],
+            &[
+                ("fixed", &live_fixed, rate_fixed),
+                ("adaptive", &live_adaptive, rate_adaptive)
+            ]
+            .iter()
+            .map(|(policy, cell, rate)| vec![
+                policy.to_string(),
+                format!("{:.2}", cell.qps),
+                format!("{:.1}", cell.p50.as_secs_f64() * 1e3),
+                format!("{:.1}", cell.p99.as_secs_f64() * 1e3),
+                cell.sched.steals.to_string(),
+                format!("{rate:.0}"),
+            ])
+            .collect::<Vec<_>>()
+        )
+    );
+    println!("# live section: {max_workers} workers, budgeted appender at {budget} rows/s\n");
+
+    // Machine-readable summary for CI's perf trajectory.
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"sched_sweep\",\n",
+            "  \"rows\": {},\n",
+            "  \"queries_per_cell\": {},\n",
+            "  \"concurrency\": {},\n",
+            "  \"adaptive_target_us\": {},\n",
+            "  \"sweep\": [\n{}\n  ],\n",
+            "  \"live\": {{\n",
+            "    \"workers\": {},\n",
+            "    \"append_budget_rows_per_sec\": {},\n",
+            "    \"fixed\": {{ {}, \"append_rows_per_sec\": {:.0} }},\n",
+            "    \"adaptive\": {{ {}, \"append_rows_per_sec\": {:.0} }}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        rows,
+        queries,
+        concurrency,
+        ADAPTIVE_TARGET.as_micros(),
+        sweep_json.join(",\n"),
+        max_workers,
+        budget,
+        live_fixed.json(),
+        rate_fixed,
+        live_adaptive.json(),
+        rate_adaptive,
+    );
+    std::fs::write("BENCH_sched.json", &json).expect("writing BENCH_sched.json failed");
+    println!("# wrote BENCH_sched.json");
+}

@@ -28,5 +28,5 @@ pub mod zipf;
 
 pub use datasets::{flights, police, taxi, DatasetId};
 pub use persist::{load, persist_shuffled};
-pub use stream::AppendBatches;
 pub use queries::{all_queries, QuerySpec, TargetSpec};
+pub use stream::AppendBatches;

@@ -14,14 +14,20 @@
 //!   unboundedly.
 //! * **Scheduling** — one bounded worker pool serves *all* queries.
 //!   The schedulable unit is a (query, shard) pair running one bounded
-//!   ingestion quantum ([`ServiceConfig::quantum_blocks`] block reads),
-//!   after which the task goes back to the FIFO tail. Queries therefore
-//!   multiplex over shards at quantum granularity — 16 queries × 4
-//!   shards is 64 interleaved tasks on the same pool, not 16 private
-//!   pools — and no query can monopolize a worker for longer than one
-//!   quantum. Shards with nothing readable under the query's current
-//!   demand *park* and stop consuming pool capacity until the query's
-//!   demand epoch moves (`state` module docs, crate-internal).
+//!   ingestion quantum, after which the task goes back to its home
+//!   queue's FIFO tail. Queries therefore multiplex over shards at
+//!   quantum granularity — 16 queries × 4 shards is 64 interleaved
+//!   tasks on the same pool, not 16 private pools — and no query can
+//!   monopolize a worker for longer than one quantum. The quantum
+//!   budget is either a fixed block count
+//!   ([`ServiceConfig::quantum_blocks`]) or sized *adaptively* from
+//!   each shard's observed per-block cost so quanta approximate a
+//!   fixed time slice ([`QuantumPolicy::Adaptive`]). Idle workers
+//!   steal queued tasks from busy siblings
+//!   ([`ServiceConfig::work_stealing`]), and shards with nothing
+//!   readable under the query's current demand *park* and stop
+//!   consuming pool capacity until the query's demand epoch moves
+//!   (`state` module docs, crate-internal).
 //! * **Per-query protocol** — each query runs the same demand protocol
 //!   as `ParallelMatch`: shard quanta fill phase-free
 //!   [`HistAccumulator`] batches, merge into the authoritative driver
@@ -50,6 +56,7 @@ mod handle;
 mod state;
 
 pub use handle::{GuaranteeState, QueryHandle, QueryOutcome, QueryProgress};
+pub use state::SchedStats;
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -77,6 +84,40 @@ const MARK_WINDOW: usize = 256;
 /// instead of cycling forever.
 const MAX_STUCK_ROUNDS: u32 = 16;
 
+/// How the per-quantum block budget is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantumPolicy {
+    /// Every quantum reads at most [`ServiceConfig::quantum_blocks`]
+    /// blocks, regardless of how fast those reads are.
+    Fixed,
+    /// Size each quantum from the shard's *observed* per-block cost so
+    /// quanta approximate a fixed **time** slice: budget =
+    /// `target / ewma_ns_per_block`, clamped to `[min_blocks,
+    /// max_blocks]`. Cache-hot shards take big bites (less scheduling
+    /// overhead per block); cold/slow-medium shards stay preemptible
+    /// (no quantum hogs a worker for a multiple of the slice). The
+    /// first quantum of a shard, with no observation yet, uses
+    /// [`ServiceConfig::quantum_blocks`] clamped to the same bounds.
+    Adaptive {
+        /// The time slice each quantum aims for.
+        target: Duration,
+        /// Budget floor, blocks (keeps progress under pathological
+        /// cost estimates).
+        min_blocks: usize,
+        /// Budget ceiling, blocks (bounds the error when a shard
+        /// suddenly gets slower than its EWMA).
+        max_blocks: usize,
+    },
+}
+
+/// Default adaptive time slice: long enough to amortize a merge under
+/// the engine mutex, short enough that a 16-query box still feels
+/// interactive.
+pub const DEFAULT_QUANTUM_SLICE: Duration = Duration::from_micros(500);
+
+/// Default adaptive budget bounds, in blocks.
+pub const DEFAULT_QUANTUM_BOUNDS: (usize, usize) = (8, 4096);
+
 /// Service tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
@@ -84,8 +125,14 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Ingestion shards per query (clamped to the block count).
     pub shards_per_query: usize,
-    /// Maximum blocks read per scheduling quantum — the fairness slice.
+    /// Maximum blocks read per scheduling quantum under
+    /// [`QuantumPolicy::Fixed`]; the pre-observation initial budget
+    /// under [`QuantumPolicy::Adaptive`].
     pub quantum_blocks: usize,
+    /// How quantum budgets are sized.
+    pub quantum: QuantumPolicy,
+    /// Whether an idle worker may steal tasks from a sibling's queue.
+    pub work_stealing: bool,
     /// Maximum queries admitted and not yet terminal.
     pub max_admitted: usize,
 }
@@ -99,6 +146,8 @@ impl Default for ServiceConfig {
             workers: cores.clamp(1, 8),
             shards_per_query: 4,
             quantum_blocks: 64,
+            quantum: QuantumPolicy::Fixed,
+            work_stealing: true,
             max_admitted: 4096,
         }
     }
@@ -142,6 +191,46 @@ impl ServiceConfig {
     pub fn with_max_admitted(mut self, max_admitted: usize) -> Self {
         assert!(max_admitted > 0, "admission bound must be positive");
         self.max_admitted = max_admitted;
+        self
+    }
+
+    /// Switches to adaptive quantum sizing with time slice `target` and
+    /// the default block bounds ([`DEFAULT_QUANTUM_BOUNDS`]).
+    ///
+    /// # Panics
+    /// Panics if `target` is zero.
+    pub fn with_adaptive_quantum(self, target: Duration) -> Self {
+        let (min_blocks, max_blocks) = DEFAULT_QUANTUM_BOUNDS;
+        self.with_quantum_policy(QuantumPolicy::Adaptive {
+            target,
+            min_blocks,
+            max_blocks,
+        })
+    }
+
+    /// Sets the quantum policy explicitly.
+    ///
+    /// # Panics
+    /// Panics on a degenerate adaptive policy (zero target, zero
+    /// `min_blocks`, or `min_blocks > max_blocks`).
+    pub fn with_quantum_policy(mut self, policy: QuantumPolicy) -> Self {
+        if let QuantumPolicy::Adaptive {
+            target,
+            min_blocks,
+            max_blocks,
+        } = policy
+        {
+            assert!(!target.is_zero(), "quantum time slice must be positive");
+            assert!(min_blocks > 0, "quantum floor must be positive");
+            assert!(min_blocks <= max_blocks, "quantum bounds must be ordered");
+        }
+        self.quantum = policy;
+        self
+    }
+
+    /// Enables or disables work-stealing across worker queues.
+    pub fn with_work_stealing(mut self, stealing: bool) -> Self {
+        self.work_stealing = stealing;
         self
     }
 }
@@ -286,6 +375,8 @@ pub struct QueryService<'env> {
     sched: Scheduler<'env>,
     next_id: AtomicU64,
     active: AtomicUsize,
+    /// Round-robin cursor for shard tasks' home queues.
+    next_home: AtomicUsize,
 }
 
 impl<'env> QueryService<'env> {
@@ -301,16 +392,28 @@ impl<'env> QueryService<'env> {
         assert!(config.shards_per_query > 0, "shard count must be positive");
         assert!(config.quantum_blocks > 0, "quantum must be positive");
         assert!(config.max_admitted > 0, "admission bound must be positive");
+        if let QuantumPolicy::Adaptive {
+            target,
+            min_blocks,
+            max_blocks,
+        } = config.quantum
+        {
+            assert!(!target.is_zero(), "quantum time slice must be positive");
+            assert!(min_blocks > 0, "quantum floor must be positive");
+            assert!(min_blocks <= max_blocks, "quantum bounds must be ordered");
+        }
         let svc = QueryService {
             backend,
             config,
-            sched: Scheduler::new(),
+            sched: Scheduler::new(config.workers, config.work_stealing),
             next_id: AtomicU64::new(0),
             active: AtomicUsize::new(0),
+            next_home: AtomicUsize::new(0),
         };
         std::thread::scope(|scope| {
-            for _ in 0..config.workers {
-                scope.spawn(|| worker_loop(&svc));
+            for w in 0..config.workers {
+                let svc = &svc;
+                scope.spawn(move || worker_loop(svc, w));
             }
             let r = f(&svc);
             svc.sched.shutdown();
@@ -321,6 +424,11 @@ impl<'env> QueryService<'env> {
     /// The service configuration in use.
     pub fn config(&self) -> ServiceConfig {
         self.config
+    }
+
+    /// Scheduler counters (quanta executed, tasks stolen).
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched.stats()
     }
 
     /// Queries admitted and not yet terminal.
@@ -482,6 +590,7 @@ impl<'env> QueryService<'env> {
                 seed.wrapping_add(w as u64).wrapping_mul(0x9e37_79b9),
             );
             let n_local = shard_reader.num_blocks();
+            let home = self.next_home.fetch_add(1, Ordering::Relaxed) % self.config.workers;
             self.sched.enqueue(ShardTask {
                 query: Arc::clone(&query),
                 reader: shard_reader,
@@ -492,6 +601,8 @@ impl<'env> QueryService<'env> {
                 pass_epoch: 0,
                 read_this_pass: false,
                 flushed: Default::default(),
+                home,
+                ewma_ns_per_block: 0.0,
             });
         }
         Ok(QueryHandle { shared })
@@ -508,11 +619,38 @@ enum Next {
     Retire,
 }
 
-fn worker_loop(svc: &QueryService<'_>) {
-    while let Some(task) = svc.sched.pop() {
+fn worker_loop(svc: &QueryService<'_>, worker: usize) {
+    while let Some(task) = svc.sched.pop(worker) {
         run_quantum(svc, task);
     }
 }
+
+/// The per-quantum block budget for a shard whose smoothed cost
+/// estimate is `ewma_ns_per_block` (`0.0` = no observation yet), under
+/// the configured policy; see [`QuantumPolicy`].
+fn quantum_budget(config: &ServiceConfig, ewma_ns_per_block: f64) -> usize {
+    match config.quantum {
+        QuantumPolicy::Fixed => config.quantum_blocks,
+        QuantumPolicy::Adaptive {
+            target,
+            min_blocks,
+            max_blocks,
+        } => {
+            if ewma_ns_per_block > 0.0 {
+                let blocks = target.as_nanos() as f64 / ewma_ns_per_block;
+                (blocks as usize).clamp(min_blocks, max_blocks)
+            } else {
+                config.quantum_blocks.clamp(min_blocks, max_blocks)
+            }
+        }
+    }
+}
+
+/// EWMA smoothing factor for observed per-block cost: new observations
+/// get 30% weight, so one cache-anomalous quantum cannot whipsaw the
+/// budget, while a genuine regime change (the shard's pages went cold)
+/// converges within a few quanta.
+const EWMA_ALPHA: f64 = 0.3;
 
 /// Runs one scheduling quantum of one shard task, then routes the task
 /// (requeue / park / retire) and performs any terminal bookkeeping.
@@ -563,8 +701,12 @@ fn run_quantum<'env>(svc: &QueryService<'env>, mut task: ShardTask<'env>) {
     let mut marks = vec![false; MARK_WINDOW];
     let mut park_epoch: Option<u64> = None;
     let mut failure: Option<CoreError> = None;
+    let budget = quantum_budget(&svc.config, task.ewma_ns_per_block);
+    let adaptive = matches!(svc.config.quantum, QuantumPolicy::Adaptive { .. });
+    let walk_started = adaptive.then(Instant::now);
+    svc.sched.note_quantum();
 
-    'quantum: while reads < svc.config.quantum_blocks {
+    'quantum: while reads < budget {
         if task.cursor == 0 {
             task.pass_epoch = query.demand.epoch();
             task.read_this_pass = false;
@@ -601,7 +743,7 @@ fn run_quantum<'env>(svc: &QueryService<'env>, mut task: ShardTask<'env>) {
         let mut skip_from: Option<usize> = None;
         for (i, &marked) in marks[..win].iter().enumerate() {
             let li = seg_off + i;
-            if reads >= svc.config.quantum_blocks {
+            if reads >= budget {
                 break;
             }
             processed += 1;
@@ -649,6 +791,21 @@ fn run_quantum<'env>(svc: &QueryService<'env>, mut task: ShardTask<'env>) {
                 park_epoch = Some(pass_epoch);
                 break 'quantum;
             }
+        }
+    }
+
+    // Fold the observed per-block cost into the shard's estimate (only
+    // quanta that actually read carry signal; walk overhead over
+    // skipped blocks is charged to the blocks that were read, which is
+    // what the budget should account for anyway).
+    if let Some(t0) = walk_started {
+        if reads > 0 {
+            let per_block = t0.elapsed().as_nanos() as f64 / reads as f64;
+            task.ewma_ns_per_block = if task.ewma_ns_per_block > 0.0 {
+                (1.0 - EWMA_ALPHA) * task.ewma_ns_per_block + EWMA_ALPHA * per_block
+            } else {
+                per_block
+            };
         }
     }
 
@@ -991,6 +1148,80 @@ mod tests {
             matches!(out, QueryOutcome::Finished(_) | QueryOutcome::Cancelled),
             "{out:?}"
         );
+    }
+
+    #[test]
+    fn quantum_budget_follows_policy() {
+        let fixed = ServiceConfig::default().with_quantum_blocks(48);
+        assert_eq!(quantum_budget(&fixed, 0.0), 48);
+        assert_eq!(quantum_budget(&fixed, 1e9), 48, "fixed ignores the EWMA");
+        let adaptive = ServiceConfig::default()
+            .with_quantum_blocks(48)
+            .with_quantum_policy(QuantumPolicy::Adaptive {
+                target: Duration::from_micros(100),
+                min_blocks: 8,
+                max_blocks: 512,
+            });
+        // No observation yet: initial guess, clamped.
+        assert_eq!(quantum_budget(&adaptive, 0.0), 48);
+        // 100 µs target / 1 µs per block = 100 blocks.
+        assert_eq!(quantum_budget(&adaptive, 1_000.0), 100);
+        // Cache-hot shard (1 ns/block) hits the ceiling, cold shard
+        // (1 ms/block) the floor.
+        assert_eq!(quantum_budget(&adaptive, 1.0), 512);
+        assert_eq!(quantum_budget(&adaptive, 1_000_000.0), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum bounds must be ordered")]
+    fn degenerate_adaptive_policy_is_rejected() {
+        let _ = ServiceConfig::default().with_quantum_policy(QuantumPolicy::Adaptive {
+            target: Duration::from_micros(100),
+            min_blocks: 64,
+            max_blocks: 8,
+        });
+    }
+
+    #[test]
+    fn adaptive_service_completes_and_counts_quanta() {
+        let t = table();
+        let layout = BlockLayout::new(t.n_rows(), 64);
+        let backend = MemBackend::new(&t, layout);
+        let bitmap = BitmapIndex::build(&t, 0, &layout);
+        let config = ServiceConfig::default()
+            .with_workers(2)
+            .with_quantum_blocks(8)
+            .with_adaptive_quantum(Duration::from_micros(200));
+        let (outcome, stats) = QueryService::serve(&backend, config, |svc| {
+            let h = svc
+                .submit(QueryRequest::new(&bitmap, 0, 1, vec![0.5, 0.5], cfg()))
+                .unwrap();
+            (h.wait(), svc.sched_stats())
+        });
+        assert!(outcome.finished().is_some(), "{outcome:?}");
+        assert!(stats.quanta > 0, "quanta must be counted: {stats:?}");
+    }
+
+    #[test]
+    fn disabled_stealing_never_steals() {
+        let t = table();
+        let layout = BlockLayout::new(t.n_rows(), 64);
+        let backend = MemBackend::new(&t, layout);
+        let bitmap = BitmapIndex::build(&t, 0, &layout);
+        let config = ServiceConfig::default()
+            .with_workers(4)
+            .with_work_stealing(false);
+        let stats = QueryService::serve(&backend, config, |svc| {
+            for seed in 0..4 {
+                let h = svc
+                    .submit(QueryRequest::new(&bitmap, 0, 1, vec![0.5, 0.5], cfg()).with_seed(seed))
+                    .unwrap();
+                h.wait();
+            }
+            svc.sched_stats()
+        });
+        assert_eq!(stats.steals, 0, "{stats:?}");
+        assert!(stats.quanta > 0);
     }
 
     #[test]

@@ -3,10 +3,15 @@
 //! One admitted query is decomposed into `shards_per_query` *shard
 //! tasks*, each owning a disjoint contiguous block range of the shared
 //! backend (a [`ShardedBlockReader`]) plus its own visited set and pass
-//! cursor. Tasks are the scheduler's unit of work: a bounded worker pool
-//! pops them FIFO, runs one bounded ingestion quantum, and requeues them
-//! at the tail — so concurrent queries interleave at quantum granularity
-//! over one pool instead of each spawning its own threads.
+//! cursor. Tasks are the scheduler's unit of work: each worker pops
+//! FIFO from its own ready queue (stealing from a sibling's queue when
+//! its own runs dry), runs one bounded ingestion quantum, and requeues
+//! the task at its home queue's tail — so concurrent queries interleave
+//! at quantum granularity over one pool instead of each spawning its
+//! own threads. Stealing is safe because a task is self-contained: it
+//! owns its reader/cursor state outright and every cross-task effect
+//! (merge, demand publication) is serialized by the query's engine
+//! mutex, so *which* worker runs a quantum is immaterial.
 //!
 //! A task that completes a full pass over its shard without finding a
 //! readable block under the query's current demand snapshot *parks*:
@@ -21,7 +26,7 @@
 //! held.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -130,6 +135,15 @@ pub(crate) struct ShardTask<'a> {
     pub read_this_pass: bool,
     /// The part of `reader.stats()` already charged to the query.
     pub flushed: IoStats,
+    /// Home worker queue (round-robin at admission). The task prefers
+    /// its home worker — quantum-to-quantum cache affinity — but any
+    /// idle worker may steal it.
+    pub home: usize,
+    /// Smoothed observed ingestion cost of this shard, ns per block
+    /// (`0.0` until the first timed quantum). Feeds adaptive quantum
+    /// sizing; per-*shard* because cost is dominated by where the
+    /// shard's blocks live (cache-hot memory vs cold file pages).
+    pub ewma_ns_per_block: f64,
 }
 
 impl<'a> ShardTask<'a> {
@@ -151,30 +165,49 @@ struct ParkedTask<'a> {
     task: ShardTask<'a>,
 }
 
+/// Scheduler-level counters, exposed through
+/// [`super::QueryService::sched_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Scheduling quanta executed across all workers and queries.
+    pub quanta: u64,
+    /// Tasks a worker popped from another worker's queue because its
+    /// own had run dry. Zero when work-stealing is disabled.
+    pub steals: u64,
+}
+
 #[derive(Debug)]
 struct SchedState<'a> {
-    ready: VecDeque<ShardTask<'a>>,
+    /// One FIFO ready queue per worker; tasks land on their home queue
+    /// and idle workers steal from others when theirs runs dry.
+    queues: Vec<VecDeque<ShardTask<'a>>>,
     parked: Vec<ParkedTask<'a>>,
     shutdown: bool,
 }
 
-/// The shared FIFO scheduler: one ready queue and one parked list for
-/// the whole service.
+/// The shared scheduler: per-worker FIFO ready queues (with optional
+/// work-stealing) and one parked list for the whole service.
 #[derive(Debug)]
 pub(crate) struct Scheduler<'a> {
     state: Mutex<SchedState<'a>>,
     cv: Condvar,
+    stealing: bool,
+    quanta: AtomicU64,
+    steals: AtomicU64,
 }
 
 impl<'a> Scheduler<'a> {
-    pub fn new() -> Self {
+    pub fn new(workers: usize, stealing: bool) -> Self {
         Scheduler {
             state: Mutex::new(SchedState {
-                ready: VecDeque::new(),
+                queues: (0..workers).map(|_| VecDeque::new()).collect(),
                 parked: Vec::new(),
                 shutdown: false,
             }),
             cv: Condvar::new(),
+            stealing,
+            quanta: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
         }
     }
 
@@ -183,23 +216,60 @@ impl<'a> Scheduler<'a> {
         self.state.lock().unwrap().shutdown
     }
 
-    /// Appends a runnable task at the queue tail (FIFO ⇒ quanta of
-    /// different queries round-robin).
-    pub fn enqueue(&self, task: ShardTask<'a>) {
-        let mut s = self.state.lock().unwrap();
-        s.ready.push_back(task);
-        drop(s);
-        self.cv.notify_one();
+    /// Counts one executed scheduling quantum.
+    pub fn note_quantum(&self) {
+        self.quanta.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Blocks for the next runnable task; `None` once shutdown is
-    /// requested *and* the ready queue has drained (parked tasks are
-    /// moved to ready by [`Self::shutdown`], so nothing is stranded).
-    pub fn pop(&self) -> Option<ShardTask<'a>> {
+    /// Current scheduler counters.
+    pub fn stats(&self) -> SchedStats {
+        SchedStats {
+            quanta: self.quanta.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Appends a runnable task at its home queue's tail (FIFO ⇒ quanta
+    /// of different queries round-robin within a queue).
+    pub fn enqueue(&self, task: ShardTask<'a>) {
+        let mut s = self.state.lock().unwrap();
+        let home = task.home.min(s.queues.len() - 1);
+        s.queues[home].push_back(task);
+        drop(s);
+        // notify_all, not notify_one: with per-worker queues a single
+        // wakeup can land on a worker that (stealing disabled) will not
+        // serve this queue and would strand the task.
+        self.cv.notify_all();
+    }
+
+    /// Blocks for worker `worker`'s next runnable task — from its own
+    /// queue first, else (when stealing is enabled) from the first
+    /// non-empty queue scanning round-robin from its right neighbor.
+    /// `None` once shutdown is requested *and* every queue this worker
+    /// may serve has drained (parked tasks are moved to ready by
+    /// [`Self::shutdown`], so nothing is stranded).
+    pub fn pop(&self, worker: usize) -> Option<ShardTask<'a>> {
         let mut s = self.state.lock().unwrap();
         loop {
-            if let Some(task) = s.ready.pop_front() {
+            let n = s.queues.len();
+            let own = worker.min(n - 1);
+            if let Some(task) = s.queues[own].pop_front() {
                 return Some(task);
+            }
+            // During shutdown every worker serves every queue even with
+            // stealing disabled: a task re-enqueued late could land on
+            // a queue whose worker already exited and would otherwise
+            // be stranded unretired.
+            if self.stealing || s.shutdown {
+                for off in 1..n {
+                    let q = (own + off) % n;
+                    if let Some(task) = s.queues[q].pop_front() {
+                        if !s.shutdown {
+                            self.steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Some(task);
+                    }
+                }
             }
             if s.shutdown {
                 return None;
@@ -219,9 +289,10 @@ impl<'a> Scheduler<'a> {
         let query = Arc::clone(&task.query);
         let mut s = self.state.lock().unwrap();
         if s.shutdown || query.demand.epoch() != pass_epoch {
-            s.ready.push_back(task);
+            let home = task.home.min(s.queues.len() - 1);
+            s.queues[home].push_back(task);
             drop(s);
-            self.cv.notify_one();
+            self.cv.notify_all();
             return false;
         }
         s.parked.push(ParkedTask { task });
@@ -260,26 +331,28 @@ impl<'a> Scheduler<'a> {
         while i < s.parked.len() {
             if s.parked[i].task.query.id == query_id {
                 let p = s.parked.swap_remove(i);
-                s.ready.push_back(p.task);
+                let home = p.task.home.min(s.queues.len() - 1);
+                s.queues[home].push_back(p.task);
                 woken += 1;
             } else {
                 i += 1;
             }
         }
         drop(s);
-        for _ in 0..woken {
-            self.cv.notify_one();
+        if woken > 0 {
+            self.cv.notify_all();
         }
     }
 
     /// Requests shutdown: every parked task is made runnable (so workers
     /// retire it as cancelled) and all workers are woken; `pop` returns
-    /// `None` once the ready queue drains.
+    /// `None` once the queues it may serve drain.
     pub fn shutdown(&self) {
         let mut s = self.state.lock().unwrap();
         s.shutdown = true;
         while let Some(p) = s.parked.pop() {
-            s.ready.push_back(p.task);
+            let home = p.task.home.min(s.queues.len() - 1);
+            s.queues[home].push_back(p.task);
         }
         drop(s);
         self.cv.notify_all();

@@ -14,6 +14,7 @@ use fastmatch_engine::exec::{
     Executor, FastMatchExec, ParallelMatchExec, ScanExec, ScanMatchExec, SyncMatchExec,
 };
 use fastmatch_engine::query::QueryJob;
+use fastmatch_engine::service::{QueryRequest, QueryService, ServiceConfig};
 use fastmatch_store::backend::{MemBackend, StorageBackend};
 use fastmatch_store::bitmap::BitmapIndex;
 use fastmatch_store::block::BlockLayout;
@@ -423,6 +424,46 @@ fn executor_backend_dataset_layout_matrix() {
                         assert!(out.stats.exact_finish, "{cell}: Scan must be exact");
                     }
                     assert!(out.stats.io.blocks_read > 0, "{cell}: no blocks read");
+                }
+                // Two service rows per backend — fixed and adaptive
+                // quantum sizing. Adaptive scheduling must change
+                // latency only, never the matched set or guarantees.
+                let policies = [
+                    ("service-fixed", ServiceConfig::default()),
+                    (
+                        "service-adaptive",
+                        ServiceConfig::default()
+                            .with_adaptive_quantum(std::time::Duration::from_micros(200)),
+                    ),
+                ];
+                for (policy_name, svc_cfg) in policies {
+                    let cell = format!(
+                        "{} × {} × tpb{} × {}",
+                        policy_name, backend_name, tuples_per_block, ds.name
+                    );
+                    let svc_cfg = svc_cfg.with_workers(2).with_quantum_blocks(16);
+                    let outcome = QueryService::serve(backend, svc_cfg, |svc| {
+                        svc.submit(
+                            QueryRequest::new(&bitmap, 0, 1, uniform(8), ds.cfg.clone())
+                                .with_seed(19),
+                        )
+                        .unwrap()
+                        .wait()
+                    });
+                    let out = outcome
+                        .finished()
+                        .unwrap_or_else(|| panic!("{cell}: {outcome:?}"));
+                    let mut ids = out.candidate_ids();
+                    ids.sort_unstable();
+                    assert_eq!(ids, truth, "{cell}: matched set diverged");
+                    assert!(
+                        gt.check_separation(&out.candidate_ids(), ds.cfg.epsilon, ds.cfg.sigma),
+                        "{cell}: separation violated"
+                    );
+                    assert!(
+                        gt.check_reconstruction(&out.output.matches, ds.cfg.epsilon),
+                        "{cell}: reconstruction violated"
+                    );
                 }
             }
             let cs = file_backend.cache_stats();

@@ -48,7 +48,11 @@ fn fixture(rows: usize, seed: u64) -> Table {
     );
     let specs = vec![
         ColumnSpec::new("z", CANDIDATES as u32, ColumnGen::PrimaryZipf { s: 1.2 }),
-        ColumnSpec::new("x", GROUPS as u32, ColumnGen::Conditional { parent: 0, dists }),
+        ColumnSpec::new(
+            "x",
+            GROUPS as u32,
+            ColumnGen::Conditional { parent: 0, dists },
+        ),
     ];
     generate_table(&specs, rows, seed)
 }
@@ -150,7 +154,11 @@ fn executors_over_snapshot_equal_frozen_copy_at_same_watermark() {
     let mem = MemBackend::new(&frozen, layout);
     let bitmap = BitmapIndex::build(&frozen, 0, &layout);
     let gt = GroundTruth::from_tuples(
-        frozen.column(0).iter().zip(frozen.column(1)).map(|(&z, &x)| (z, x)),
+        frozen
+            .column(0)
+            .iter()
+            .zip(frozen.column(1))
+            .map(|(&z, &x)| (z, x)),
         CANDIDATES,
         GROUPS,
         uniform(GROUPS),

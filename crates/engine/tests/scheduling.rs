@@ -1,0 +1,224 @@
+//! Scheduler-level integration tests for the query service: adaptive
+//! quantum sizing must be invisible to results (only latency may
+//! change), work-stealing must actually redistribute queued tasks, and
+//! no admitted query may starve while others run.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use fastmatch_core::histsim::HistSimConfig;
+use fastmatch_data::gen::{conditional_with_planted, generate_table, ColumnGen, ColumnSpec};
+use fastmatch_data::shapes::uniform;
+use fastmatch_engine::exec::{Executor, SyncMatchExec};
+use fastmatch_engine::query::QueryJob;
+use fastmatch_engine::service::{
+    QuantumPolicy, QueryOutcome, QueryRequest, QueryService, ServiceConfig,
+};
+use fastmatch_store::backend::MemBackend;
+use fastmatch_store::bitmap::BitmapIndex;
+use fastmatch_store::block::BlockLayout;
+use fastmatch_store::table::Table;
+
+/// The planted fixture the executor tests use: the matched set is
+/// unambiguous, so every correct scheduler returns the same ids.
+fn test_table(rows: usize, seed: u64) -> Table {
+    let dists = conditional_with_planted(
+        60,
+        &uniform(8),
+        &[(0, 0.0), (2, 0.015), (5, 0.03), (9, 0.04), (15, 0.05)],
+        0.20,
+        seed ^ 0xab,
+    );
+    let specs = vec![
+        ColumnSpec::new("z", 60, ColumnGen::PrimaryZipf { s: 1.2 }),
+        ColumnSpec::new("x", 8, ColumnGen::Conditional { parent: 0, dists }),
+    ];
+    generate_table(&specs, rows, seed)
+}
+
+fn config() -> HistSimConfig {
+    HistSimConfig {
+        k: 5,
+        epsilon: 0.1,
+        delta: 0.05,
+        sigma: 0.01,
+        stage1_samples: 20_000,
+        ..HistSimConfig::default()
+    }
+}
+
+/// Runs one query through the service under `svc_cfg` and returns its
+/// sorted matched set plus the final guarantee state.
+fn serve_one(
+    backend: &MemBackend<'_>,
+    bitmap: &BitmapIndex,
+    cfg: HistSimConfig,
+    svc_cfg: ServiceConfig,
+    seed: u64,
+) -> (Vec<u32>, fastmatch_engine::service::GuaranteeState) {
+    let (outcome, guarantee) = QueryService::serve(backend, svc_cfg, |svc| {
+        let h = svc
+            .submit(QueryRequest::new(bitmap, 0, 1, uniform(8), cfg).with_seed(seed))
+            .unwrap();
+        let outcome = h.wait();
+        (outcome, h.progress().guarantee)
+    });
+    let out = outcome
+        .finished()
+        .unwrap_or_else(|| panic!("query must finish: {outcome:?}"))
+        .clone();
+    let mut ids = out.candidate_ids();
+    ids.sort_unstable();
+    (ids, guarantee)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Adaptive quantum sizing preserves the executor-equivalence
+    /// property across randomized workloads and scheduler parameters:
+    /// the matched set and final guarantee level equal those of the
+    /// fixed-quantum service and of the single-threaded reference
+    /// executor. (The deterministic 5-executors × 4-backends matrix in
+    /// `executors.rs` carries service-fixed and service-adaptive rows
+    /// over every backend; this property randomizes the knobs.)
+    #[test]
+    fn adaptive_quanta_preserve_matched_sets(
+        rows in 30_000usize..80_000,
+        seed in 0u64..1_000,
+        quantum_blocks in 4usize..96,
+        target_us in 20u64..2_000,
+        workers in 1usize..5,
+        shards in 1usize..6,
+    ) {
+        let table = test_table(rows, seed);
+        let layout = BlockLayout::new(table.n_rows(), 64);
+        let bitmap = BitmapIndex::build(&table, 0, &layout);
+        let backend = MemBackend::new(&table, layout);
+
+        let job = QueryJob::new(&table, layout, &bitmap, 0, 1, uniform(8), config());
+        let reference = SyncMatchExec.run(&job, seed).unwrap();
+        let mut ref_ids = reference.candidate_ids();
+        ref_ids.sort_unstable();
+
+        let base = ServiceConfig::default()
+            .with_workers(workers)
+            .with_shards_per_query(shards)
+            .with_quantum_blocks(quantum_blocks);
+        let (fixed_ids, fixed_g) =
+            serve_one(&backend, &bitmap, config(), base, seed);
+        let (adaptive_ids, adaptive_g) = serve_one(
+            &backend,
+            &bitmap,
+            config(),
+            base.with_adaptive_quantum(Duration::from_micros(target_us)),
+            seed,
+        );
+
+        prop_assert_eq!(&fixed_ids, &ref_ids, "fixed-quantum service diverged");
+        prop_assert_eq!(&adaptive_ids, &ref_ids, "adaptive-quantum service diverged");
+        prop_assert_eq!(fixed_g, adaptive_g, "guarantee level diverged");
+    }
+}
+
+/// Work-stealing soak: many queries on few workers with tiny quanta;
+/// every admitted query must make progress (samples advance, or finish)
+/// within `K` *global* quanta of its last observed progress — i.e. no
+/// query starves while the scheduler serves the others.
+#[test]
+fn no_admitted_query_starves() {
+    let table = test_table(200_000, 42);
+    let layout = BlockLayout::new(table.n_rows(), 64);
+    let bitmap = BitmapIndex::build(&table, 0, &layout);
+    let backend = MemBackend::new(&table, layout);
+    const QUERIES: usize = 6;
+    const K: u64 = 4_000;
+    let svc_cfg = ServiceConfig::default()
+        .with_workers(2)
+        .with_shards_per_query(2)
+        .with_quantum_blocks(4)
+        .with_quantum_policy(QuantumPolicy::Adaptive {
+            target: Duration::from_micros(100),
+            min_blocks: 2,
+            max_blocks: 64,
+        });
+    QueryService::serve(&backend, svc_cfg, |svc| {
+        let handles: Vec<_> = (0..QUERIES)
+            .map(|i| {
+                svc.submit(
+                    QueryRequest::new(&bitmap, 0, 1, uniform(8), config()).with_seed(42 + i as u64),
+                )
+                .unwrap()
+            })
+            .collect();
+        // (samples at last progress, global quanta at last progress)
+        let mut last: Vec<(u64, u64)> = vec![(0, 0); QUERIES];
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let quanta = svc.sched_stats().quanta;
+            let mut all_done = true;
+            for (i, h) in handles.iter().enumerate() {
+                if h.is_done() {
+                    continue;
+                }
+                all_done = false;
+                let samples = h.progress().samples;
+                if samples > last[i].0 {
+                    last[i] = (samples, quanta);
+                } else {
+                    assert!(
+                        quanta.saturating_sub(last[i].1) < K,
+                        "query {i} starved: stuck at {samples} samples for \
+                         {} global quanta ({:?})",
+                        quanta - last[i].1,
+                        svc.sched_stats(),
+                    );
+                }
+            }
+            if all_done {
+                break;
+            }
+            assert!(Instant::now() < deadline, "soak did not converge");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for (i, h) in handles.iter().enumerate() {
+            let outcome = h.wait();
+            assert!(
+                matches!(outcome, QueryOutcome::Finished(_)),
+                "query {i}: {outcome:?}"
+            );
+        }
+    });
+}
+
+/// With one single-shard query homed on worker 0 and a second worker
+/// whose own queue stays empty, the only way worker 1 ever runs a
+/// quantum is by stealing — over thousands of requeues it practically
+/// always does. (The deterministic converse — stealing disabled means
+/// zero steals — is a service unit test.)
+#[test]
+fn idle_workers_steal_queued_tasks() {
+    let table = test_table(250_000, 7);
+    let layout = BlockLayout::new(table.n_rows(), 64);
+    let bitmap = BitmapIndex::build(&table, 0, &layout);
+    let backend = MemBackend::new(&table, layout);
+    let svc_cfg = ServiceConfig::default()
+        .with_workers(4)
+        .with_shards_per_query(8)
+        .with_quantum_blocks(2);
+    let stats = QueryService::serve(&backend, svc_cfg, |svc| {
+        for round in 0..3 {
+            let h = svc
+                .submit(QueryRequest::new(&bitmap, 0, 1, uniform(8), config()).with_seed(7 + round))
+                .unwrap();
+            let outcome = h.wait();
+            assert!(matches!(outcome, QueryOutcome::Finished(_)), "{outcome:?}");
+        }
+        svc.sched_stats()
+    });
+    assert!(
+        stats.steals > 0,
+        "idle workers never stole despite imbalanced queues: {stats:?}"
+    );
+}

@@ -40,6 +40,14 @@
 //!   the in-memory segment serving reads and is only *counted*
 //!   ([`LiveStats::seal_errors`]) — durability degrades, correctness
 //!   does not.
+//!   Under backlog the sealer *coalesces* adjacent frozen deltas (up
+//!   to [`LiveTableConfig::coalesce_segments`]) into one large
+//!   sequential write, keeping persistence off the query path.
+//! * **Ingest budgets** ([`LiveTableConfig::with_append_budget`]) bound
+//!   appender throughput with a token bucket: over-budget appends
+//!   sleep, releasing cores to concurrent queries — the software
+//!   analogue of dedicating update-propagation resources in an HTAP
+//!   design.
 //! * **Snapshots** ([`LiveTable::snapshot`]) are the read contract: a
 //!   sealed-segment watermark plus a frozen tail, implementing
 //!   [`crate::backend::StorageBackend`] — see [`snapshot`].
@@ -57,9 +65,10 @@ pub use snapshot::Snapshot;
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::block::DEFAULT_TUPLES_PER_BLOCK;
 use crate::error::{Result, StoreError};
@@ -76,6 +85,10 @@ pub const DEFAULT_BLOCKS_PER_SEGMENT: usize = 64;
 /// below [`crate::file::DEFAULT_CACHE_BLOCKS`]: a live table accumulates
 /// many `FileBackend`s, and their caches are additive.
 pub const DEFAULT_SEGMENT_CACHE_BLOCKS: usize = 256;
+
+/// Default cap on how many frozen deltas one sealed segment file may
+/// coalesce (see [`LiveTableConfig::coalesce_segments`]).
+pub const DEFAULT_COALESCE_SEGMENTS: usize = 4;
 
 /// Construction parameters of a [`LiveTable`].
 #[derive(Debug, Clone)]
@@ -100,6 +113,21 @@ pub struct LiveTableConfig {
     /// per-segment worker pools multiply quickly; enable deliberately
     /// for storage-bound live workloads.
     pub segment_prefetch_workers: usize,
+    /// Appender budget, in rows per second. `None` (default) leaves
+    /// appends unthrottled; `Some(rate)` puts every append through a
+    /// token bucket so a free-running writer cannot monopolize the box —
+    /// the ingest half of HTAP resource isolation. Appends that exceed
+    /// the budget *sleep* (releasing the CPU to queries) until the
+    /// bucket refills; waits are surfaced through
+    /// [`LiveStats::throttled_appends`] / [`LiveStats::throttle_wait_ns`].
+    pub append_budget_rows_per_sec: Option<u64>,
+    /// Cap on how many *adjacent* frozen deltas one seal may merge into
+    /// a single segment file. Under backlog (deltas freezing faster than
+    /// the sealer drains them) coalescing turns k small writes into one
+    /// large sequential write, so the sealer steals fewer cycles from
+    /// queries. `1` disables coalescing (one file per delta, the
+    /// pre-coalescing behavior); must be ≥ 1.
+    pub coalesce_segments: usize,
 }
 
 impl Default for LiveTableConfig {
@@ -111,6 +139,8 @@ impl Default for LiveTableConfig {
             background_sealer: true,
             segment_cache_blocks: DEFAULT_SEGMENT_CACHE_BLOCKS,
             segment_prefetch_workers: 0,
+            append_budget_rows_per_sec: None,
+            coalesce_segments: DEFAULT_COALESCE_SEGMENTS,
         }
     }
 }
@@ -140,21 +170,48 @@ impl LiveTableConfig {
         self.background_sealer = background;
         self
     }
+
+    /// Bounds appenders to `rows_per_sec` through a token bucket.
+    pub fn with_append_budget(mut self, rows_per_sec: u64) -> Self {
+        self.append_budget_rows_per_sec = Some(rows_per_sec);
+        self
+    }
+
+    /// Sets the delta-coalescing cap (`1` disables coalescing).
+    pub fn with_coalesce_segments(mut self, deltas: usize) -> Self {
+        self.coalesce_segments = deltas;
+        self
+    }
 }
 
-/// Monotone counters describing a live table's life so far.
+/// Counters (and one gauge) describing a live table's life so far. All
+/// fields except `pinned_snapshot_bytes` are monotone.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LiveStats {
     /// Rows appended in total.
     pub rows: u64,
     /// Deltas frozen into immutable segments (either representation).
     pub frozen_segments: u64,
-    /// Segments persisted to disk and swapped to their file form.
+    /// Deltas persisted to disk and swapped to their file form. A
+    /// coalesced seal persists several deltas with one write, so this
+    /// can exceed the number of segment *files*.
     pub persisted_segments: u64,
-    /// Seal attempts that failed (segment kept serving from memory).
+    /// Deltas whose seal failed (the run kept serving from memory).
     pub seal_errors: u64,
     /// Snapshots taken.
     pub snapshots: u64,
+    /// Deltas that were merged into multi-delta segment files (counts
+    /// every member of a coalesced run; singleton seals don't count).
+    pub coalesced_deltas: u64,
+    /// Append calls that slept at least once in the token bucket.
+    pub throttled_appends: u64,
+    /// Total nanoseconds appenders spent sleeping in the token bucket.
+    pub throttle_wait_ns: u64,
+    /// Gauge: bytes of in-memory data (frozen-but-unsealed segments +
+    /// tail copies) currently kept alive by outstanding snapshots. An
+    /// upper bound on what snapshot retention costs beyond the table's
+    /// own working set; falls as snapshots drop.
+    pub pinned_snapshot_bytes: u64,
 }
 
 /// Shared core of one live table (append state + counters); the sealer
@@ -165,29 +222,99 @@ struct LiveInner {
     tuples_per_block: usize,
     blocks_per_segment: usize,
     rows_per_segment: usize,
+    coalesce_segments: usize,
     writer: Option<SegmentWriter>,
+    budget: Option<Mutex<TokenBucket>>,
     state: Mutex<LiveState>,
     rows: AtomicU64,
     frozen: AtomicU64,
     persisted: AtomicU64,
     seal_errors: AtomicU64,
     snapshots: AtomicU64,
+    coalesced: AtomicU64,
+    throttled: AtomicU64,
+    throttle_wait_ns: AtomicU64,
+    /// Shared with [`snapshot::SnapshotPin`]s, which can outlive the
+    /// table; hence the extra `Arc`.
+    pinned: Arc<AtomicU64>,
 }
 
 /// Everything the append lock guards.
 #[derive(Debug)]
 struct LiveState {
-    entries: Vec<SegmentEntry>,
+    entries: Vec<LiveSegment>,
     mem: MemTable,
     bitmaps: Vec<LiveBitmap>,
     /// Rows covered by `entries`.
     sealed_rows: usize,
 }
 
+/// One sealed entry of the live table. Entries start life as single
+/// frozen deltas; a coalescing seal replaces an adjacent run of them
+/// with one file-backed entry spanning `deltas` deltas — so entries
+/// have *variable* block counts and are keyed by their first delta id
+/// (strictly increasing across the vector).
+#[derive(Debug, Clone)]
+struct LiveSegment {
+    /// Id of the first frozen delta this entry covers (delta ids are
+    /// assigned in freeze order and never reused); also names the
+    /// segment file (`segment-{first_delta:06}.fmb`).
+    first_delta: u64,
+    /// Full blocks this entry spans (`deltas × blocks_per_segment`).
+    blocks: usize,
+    repr: SegmentEntry,
+}
+
 /// One frozen delta awaiting its seal.
 struct SealJob {
-    index: usize,
+    delta: u64,
     table: Arc<Table>,
+}
+
+/// Deficit-style token bucket bounding append throughput. A request is
+/// granted whenever the balance is non-negative and then charged in
+/// full (so one oversized batch may drive the balance negative); later
+/// requests sleep until refill repays the debt. Sleeping — rather than
+/// spinning or failing — is the point: it yields the core to queries.
+#[derive(Debug)]
+struct TokenBucket {
+    /// Refill rate, rows per second.
+    rate: f64,
+    /// Balance cap: how many rows may burst after an idle stretch.
+    burst: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn new(rows_per_sec: u64) -> Self {
+        let rate = rows_per_sec as f64;
+        TokenBucket {
+            rate,
+            burst: (rate / 100.0).max(1024.0),
+            tokens: 0.0,
+            last: Instant::now(),
+        }
+    }
+
+    /// Refills from elapsed time; returns `None` when `rows` was
+    /// granted, else how long to sleep before retrying.
+    fn grant(&mut self, rows: usize) -> Option<Duration> {
+        let now = Instant::now();
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+        if self.tokens >= 0.0 {
+            self.tokens -= rows as f64;
+            None
+        } else {
+            // Sleep in bounded slices so wakeups track refill closely
+            // even when the debt is large.
+            Some(Duration::from_secs_f64(
+                (-self.tokens / self.rate).clamp(1e-4, 0.05),
+            ))
+        }
+    }
 }
 
 /// The background sealer, when configured.
@@ -221,9 +348,15 @@ impl LiveTable {
             ));
         }
         if config.segment_cache_blocks == 0 {
+            return Err(StoreError::Invalid("segment cache must be positive".into()));
+        }
+        if config.coalesce_segments == 0 {
             return Err(StoreError::Invalid(
-                "segment cache must be positive".into(),
+                "coalesce_segments must be at least 1".into(),
             ));
+        }
+        if config.append_budget_rows_per_sec == Some(0) {
+            return Err(StoreError::Invalid("append budget must be positive".into()));
         }
         let rows_per_segment = config
             .tuples_per_block
@@ -248,7 +381,11 @@ impl LiveTable {
             tuples_per_block: config.tuples_per_block,
             blocks_per_segment: config.blocks_per_segment,
             rows_per_segment,
+            coalesce_segments: config.coalesce_segments,
             writer,
+            budget: config
+                .append_budget_rows_per_sec
+                .map(|rate| Mutex::new(TokenBucket::new(rate))),
             state: Mutex::new(LiveState {
                 entries: Vec::new(),
                 mem: MemTable::new(n_attrs, rows_per_segment),
@@ -260,15 +397,15 @@ impl LiveTable {
             persisted: AtomicU64::new(0),
             seal_errors: AtomicU64::new(0),
             snapshots: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            throttled: AtomicU64::new(0),
+            throttle_wait_ns: AtomicU64::new(0),
+            pinned: Arc::new(AtomicU64::new(0)),
         });
         let sealer = (inner.writer.is_some() && config.background_sealer).then(|| {
             let (tx, rx) = channel::<SealJob>();
             let worker = Arc::clone(&inner);
-            let join = std::thread::spawn(move || {
-                while let Ok(job) = rx.recv() {
-                    worker.seal_one(job);
-                }
-            });
+            let join = std::thread::spawn(move || worker.sealer_loop(&rx));
             Sealer {
                 tx: Some(tx),
                 join: Some(join),
@@ -306,6 +443,10 @@ impl LiveTable {
             persisted_segments: self.inner.persisted.load(Ordering::Relaxed),
             seal_errors: self.inner.seal_errors.load(Ordering::Relaxed),
             snapshots: self.inner.snapshots.load(Ordering::Relaxed),
+            coalesced_deltas: self.inner.coalesced.load(Ordering::Relaxed),
+            throttled_appends: self.inner.throttled.load(Ordering::Relaxed),
+            throttle_wait_ns: self.inner.throttle_wait_ns.load(Ordering::Relaxed),
+            pinned_snapshot_bytes: self.inner.pinned.load(Ordering::Relaxed),
         }
     }
 
@@ -365,6 +506,7 @@ impl LiveTable {
             }
         }
         let inner = &*self.inner;
+        inner.throttle(rows);
         let tpb = inner.tuples_per_block;
         let mut frozen: Vec<SealJob> = Vec::new();
         let first = {
@@ -384,11 +526,14 @@ impl LiveTable {
                 off += take;
                 if s.mem.room() == 0 {
                     let table = Arc::new(Table::new(inner.schema.clone(), s.mem.take_full()));
-                    let index = s.entries.len();
-                    s.entries.push(SegmentEntry::Mem(Arc::clone(&table)));
+                    let delta = inner.frozen.fetch_add(1, Ordering::Relaxed);
+                    s.entries.push(LiveSegment {
+                        first_delta: delta,
+                        blocks: inner.blocks_per_segment,
+                        repr: SegmentEntry::Mem(Arc::clone(&table)),
+                    });
                     s.sealed_rows += inner.rows_per_segment;
-                    inner.frozen.fetch_add(1, Ordering::Relaxed);
-                    frozen.push(SealJob { index, table });
+                    frozen.push(SealJob { delta, table });
                 }
             }
             first
@@ -396,16 +541,25 @@ impl LiveTable {
         inner.rows.fetch_add(rows as u64, Ordering::Relaxed);
         // Persistence happens with the lock released: on the sealer
         // thread when one exists, else right here on the appender.
-        if inner.writer.is_some() {
-            for job in frozen {
-                match &self.sealer {
-                    Some(Sealer { tx: Some(tx), .. }) => {
-                        // A send can only fail after shutdown began, at
-                        // which point the in-memory segment is the final
-                        // (still fully readable) form.
+        if inner.writer.is_some() && !frozen.is_empty() {
+            match &self.sealer {
+                Some(Sealer { tx: Some(tx), .. }) => {
+                    // A send can only fail after shutdown began, at
+                    // which point the in-memory segment is the final
+                    // (still fully readable) form.
+                    for job in frozen {
                         let _ = tx.send(job);
                     }
-                    _ => inner.seal_one(job),
+                }
+                _ => {
+                    // Inline sealing coalesces too: deltas frozen by one
+                    // append call are adjacent by construction.
+                    let mut run = frozen.into_iter().peekable();
+                    while run.peek().is_some() {
+                        let chunk: Vec<SealJob> =
+                            run.by_ref().take(inner.coalesce_segments).collect();
+                        inner.seal_run(chunk);
+                    }
                 }
             }
         }
@@ -426,15 +580,36 @@ impl LiveTable {
             .iter()
             .map(|bm| Arc::new(bm.freeze(num_blocks)))
             .collect();
+        let mut entries = Vec::with_capacity(s.entries.len());
+        let mut seg_starts = Vec::with_capacity(s.entries.len() + 1);
+        let mut block_off = 0usize;
+        let mut mem_rows = 0usize;
+        for seg in &s.entries {
+            seg_starts.push(block_off);
+            block_off += seg.blocks;
+            if let SegmentEntry::Mem(t) = &seg.repr {
+                mem_rows += t.n_rows();
+            }
+            entries.push(seg.repr.clone());
+        }
+        seg_starts.push(block_off);
+        // Bytes this snapshot keeps alive beyond sealed files: frozen
+        // in-memory segments (shared until the sealer swaps them — the
+        // snapshot's Arc then pins the copy) plus its owned tail copy.
+        let pinned_bytes = ((mem_rows + s.mem.rows()) * inner.schema.len() * 4) as u64;
         let snap = Snapshot {
             schema: inner.schema.clone(),
             tuples_per_block: inner.tuples_per_block,
-            blocks_per_segment: inner.blocks_per_segment,
-            entries: s.entries.clone(),
+            entries,
+            seg_starts,
             sealed_rows: s.sealed_rows,
             tail: s.mem.columns().to_vec(),
             n_rows,
             bitmaps,
+            pin: Arc::new(snapshot::SnapshotPin::new(
+                pinned_bytes,
+                Arc::clone(&inner.pinned),
+            )),
         };
         drop(s);
         inner.snapshots.fetch_add(1, Ordering::Relaxed);
@@ -443,20 +618,116 @@ impl LiveTable {
 }
 
 impl LiveInner {
-    /// Persists one frozen delta and swaps its entry to the file form.
-    /// Failures are counted, never propagated: the in-memory segment
-    /// keeps serving every snapshot correctly.
-    fn seal_one(&self, job: SealJob) {
+    /// Sleeps in the token bucket until `rows` more appended rows fit
+    /// the configured budget. No-op without a budget.
+    fn throttle(&self, rows: usize) {
+        let Some(bucket) = &self.budget else { return };
+        if rows == 0 {
+            return;
+        }
+        let mut waited_ns = 0u64;
+        loop {
+            let wait = bucket.lock().unwrap().grant(rows);
+            match wait {
+                None => break,
+                Some(d) => {
+                    let t0 = Instant::now();
+                    std::thread::sleep(d);
+                    waited_ns += t0.elapsed().as_nanos() as u64;
+                }
+            }
+        }
+        if waited_ns > 0 {
+            self.throttled.fetch_add(1, Ordering::Relaxed);
+            self.throttle_wait_ns
+                .fetch_add(waited_ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Background sealer body: drains jobs, opportunistically batching
+    /// each with the adjacent deltas already queued behind it (up to
+    /// `coalesce_segments`) so a backlog collapses into few large
+    /// sequential writes. Runs until the channel hangs up *and* drains —
+    /// mpsc delivers everything sent before the hangup.
+    fn sealer_loop(&self, rx: &Receiver<SealJob>) {
+        let mut pending: Option<SealJob> = None;
+        loop {
+            let first = match pending.take() {
+                Some(job) => job,
+                None => match rx.recv() {
+                    Ok(job) => job,
+                    Err(_) => break,
+                },
+            };
+            let mut run = vec![first];
+            while run.len() < self.coalesce_segments {
+                match rx.try_recv() {
+                    // Concurrent appenders may publish out of freeze
+                    // order; only an exactly-adjacent delta extends the
+                    // run, anything else starts the next one.
+                    Ok(job) if job.delta == run.last().unwrap().delta + 1 => run.push(job),
+                    Ok(job) => {
+                        pending = Some(job);
+                        break;
+                    }
+                    Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                }
+            }
+            self.seal_run(run);
+        }
+    }
+
+    /// Persists one run of adjacent frozen deltas as a single segment
+    /// file and swaps their entries for one file-backed entry. Failures
+    /// are counted, never propagated: the in-memory segments keep
+    /// serving every snapshot correctly.
+    fn seal_run(&self, jobs: Vec<SealJob>) {
         let writer = self.writer.as_ref().expect("seal without a segment dir");
-        match writer.seal(job.index, &job.table) {
+        let first = jobs[0].delta;
+        debug_assert!(jobs.windows(2).all(|w| w[1].delta == w[0].delta + 1));
+        let merged;
+        let table: &Table = if jobs.len() == 1 {
+            &jobs[0].table
+        } else {
+            let total = jobs.len() * self.rows_per_segment;
+            let mut cols: Vec<Vec<u32>> = (0..self.schema.len())
+                .map(|_| Vec::with_capacity(total))
+                .collect();
+            for job in &jobs {
+                for (a, col) in cols.iter_mut().enumerate() {
+                    col.extend_from_slice(job.table.column(a));
+                }
+            }
+            merged = Table::new(self.schema.clone(), cols);
+            &merged
+        };
+        match writer.seal(first as usize, table) {
             Ok(backend) => {
+                let k = jobs.len();
                 let mut s = self.state.lock().unwrap();
-                s.entries[job.index] = SegmentEntry::File(backend);
+                let pos = s.entries.partition_point(|e| e.first_delta < first);
+                debug_assert!(
+                    s.entries[pos].first_delta == first,
+                    "sealed run must still be present as Mem entries"
+                );
+                let blocks: usize = s.entries[pos..pos + k].iter().map(|e| e.blocks).sum();
+                s.entries.splice(
+                    pos..pos + k,
+                    [LiveSegment {
+                        first_delta: first,
+                        blocks,
+                        repr: SegmentEntry::File(backend),
+                    }],
+                );
                 drop(s);
-                self.persisted.fetch_add(1, Ordering::Relaxed);
+                self.persisted.fetch_add(k as u64, Ordering::Relaxed);
+                if k >= 2 {
+                    self.coalesced.fetch_add(k as u64, Ordering::Relaxed);
+                }
             }
             Err(_) => {
-                self.seal_errors.fetch_add(1, Ordering::Relaxed);
+                self.seal_errors
+                    .fetch_add(jobs.len() as u64, Ordering::Relaxed);
             }
         }
     }
@@ -542,10 +813,7 @@ mod tests {
     #[test]
     fn invalid_appends_are_rejected_without_side_effects() {
         let lt = LiveTable::new(schema(), cfg_mem(4, 2)).unwrap();
-        assert!(matches!(
-            lt.append_row(&[0]),
-            Err(StoreError::Invalid(_))
-        ));
+        assert!(matches!(lt.append_row(&[0]), Err(StoreError::Invalid(_))));
         assert!(matches!(
             lt.append_row(&[6, 0]), // z cardinality is 6
             Err(StoreError::Invalid(_))
@@ -632,7 +900,11 @@ mod tests {
     #[test]
     fn drop_joins_the_sealer_after_finishing_queued_seals() {
         let dir = TempBlockDir::new("live_dropseal");
-        let cfg = cfg_mem(4, 2).with_segment_dir(dir.path());
+        // coalesce=1 keeps one file per delta, so the filenames the
+        // joined sealer must have produced are deterministic.
+        let cfg = cfg_mem(4, 2)
+            .with_segment_dir(dir.path())
+            .with_coalesce_segments(1);
         let lt = LiveTable::new(schema(), cfg).unwrap();
         for k in 0..16u64 {
             lt.append_row(&row_of(k)).unwrap();
@@ -662,6 +934,149 @@ mod tests {
         for k in 0..9u64 {
             assert_eq!(t.code(0, k as usize), row_of(k)[0]);
         }
+    }
+
+    #[test]
+    fn inline_sealer_coalesces_adjacent_deltas_from_one_batch() {
+        let dir = TempBlockDir::new("live_coalesce");
+        // 4 rows per delta; a 40-row batch freezes 10 deltas in one
+        // call, which the inline sealer groups into runs of ≤ 4.
+        let cfg = cfg_mem(4, 1)
+            .with_segment_dir(dir.path())
+            .with_background_sealer(false)
+            .with_coalesce_segments(4);
+        let lt = LiveTable::new(schema(), cfg).unwrap();
+        let ks: Vec<u64> = (0..40).collect();
+        let cols = vec![
+            ks.iter().map(|&k| row_of(k)[0]).collect::<Vec<_>>(),
+            ks.iter().map(|&k| row_of(k)[1]).collect::<Vec<_>>(),
+        ];
+        lt.append_batch(&cols).unwrap();
+        let st = lt.stats();
+        assert_eq!(st.frozen_segments, 10);
+        assert_eq!(st.persisted_segments, 10);
+        assert_eq!(st.coalesced_deltas, 10, "runs of 4+4+2 all coalesce");
+        assert_eq!(st.seal_errors, 0);
+        // Files are named by their run's first delta id.
+        for present in [0, 4, 8] {
+            assert!(dir
+                .path()
+                .join(format!("segment-{present:06}.fmb"))
+                .exists());
+        }
+        for absent in [1, 2, 3, 5, 6, 7, 9] {
+            assert!(!dir.path().join(format!("segment-{absent:06}.fmb")).exists());
+        }
+        // Reads over the variable-size segments are unchanged, both
+        // materialized and blockwise.
+        let snap = lt.snapshot();
+        assert_eq!(snap.num_segments(), 3);
+        let t = snap.to_table().unwrap();
+        assert_eq!(t.column(0), &cols[0][..]);
+        assert_eq!(t.column(1), &cols[1][..]);
+        let layout = snap.layout();
+        let mut buf = Vec::new();
+        for attr in 0..2 {
+            for b in 0..layout.num_blocks() {
+                snap.read_block_into(b, attr, &mut buf).unwrap();
+                assert_eq!(buf.as_slice(), &t.column(attr)[layout.rows_of_block(b)]);
+            }
+        }
+        snap.prefetch(0..layout.num_blocks());
+    }
+
+    #[test]
+    fn background_sealer_coalesces_under_backlog_without_data_loss() {
+        let dir = TempBlockDir::new("live_bg_coalesce");
+        let cfg = cfg_mem(4, 1)
+            .with_segment_dir(dir.path())
+            .with_coalesce_segments(4);
+        let lt = LiveTable::new(schema(), cfg).unwrap();
+        let ks: Vec<u64> = (0..48).collect();
+        let cols = vec![
+            ks.iter().map(|&k| row_of(k)[0]).collect::<Vec<_>>(),
+            ks.iter().map(|&k| row_of(k)[1]).collect::<Vec<_>>(),
+        ];
+        lt.append_batch(&cols).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while lt.stats().persisted_segments < 12 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "sealer stalled: {:?}",
+                lt.stats()
+            );
+            std::thread::yield_now();
+        }
+        // Whether any runs coalesced depends on queue timing; the data
+        // and the delta accounting must be exact either way.
+        let st = lt.stats();
+        assert_eq!(st.frozen_segments, 12);
+        assert_eq!(st.persisted_segments, 12);
+        assert_eq!(st.seal_errors, 0);
+        let t = lt.snapshot().to_table().unwrap();
+        assert_eq!(t.column(0), &cols[0][..]);
+        assert_eq!(t.column(1), &cols[1][..]);
+    }
+
+    #[test]
+    fn append_budget_throttles_and_counts_waits() {
+        // 20k rows/s with a 1,024-row burst: appending 8,192 rows must
+        // sleep for roughly (8192 - burst - final deficit grant)/rate ≳
+        // 0.25 s. Assert half that to stay robust on loaded CI.
+        let cfg = cfg_mem(64, 4).with_append_budget(20_000);
+        let lt = LiveTable::new(schema(), cfg).unwrap();
+        let t0 = std::time::Instant::now();
+        for chunk in 0..4u64 {
+            let ks: Vec<u64> = (chunk * 2048..(chunk + 1) * 2048).collect();
+            let cols = vec![
+                ks.iter().map(|&k| row_of(k)[0]).collect::<Vec<_>>(),
+                ks.iter().map(|&k| row_of(k)[1]).collect::<Vec<_>>(),
+            ];
+            lt.append_batch(&cols).unwrap();
+        }
+        let elapsed = t0.elapsed();
+        let st = lt.stats();
+        assert_eq!(st.rows, 8192);
+        assert!(st.throttled_appends >= 1, "no append ever waited: {st:?}");
+        assert!(st.throttle_wait_ns > 0);
+        assert!(
+            elapsed >= std::time::Duration::from_millis(125),
+            "8192 rows at 20k rows/s finished in {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn zero_budget_and_zero_coalesce_are_rejected() {
+        assert!(LiveTable::new(schema(), cfg_mem(4, 2).with_append_budget(0)).is_err());
+        assert!(LiveTable::new(schema(), cfg_mem(4, 2).with_coalesce_segments(0)).is_err());
+    }
+
+    #[test]
+    fn snapshots_pin_memory_bytes_until_dropped() {
+        let lt = LiveTable::new(schema(), cfg_mem(4, 2)).unwrap(); // 8 rows/segment
+        for k in 0..10u64 {
+            lt.append_row(&row_of(k)).unwrap();
+        }
+        assert_eq!(lt.stats().pinned_snapshot_bytes, 0);
+        // 8 rows frozen in memory + 2 tail rows, 2 attrs × 4 bytes.
+        let snap = lt.snapshot();
+        let want = 10 * 2 * 4;
+        assert_eq!(snap.pinned_bytes(), want);
+        assert_eq!(lt.stats().pinned_snapshot_bytes, want);
+        // Clones share the pin: no double charge, released once.
+        let clone = snap.clone();
+        assert_eq!(lt.stats().pinned_snapshot_bytes, want);
+        drop(snap);
+        assert_eq!(lt.stats().pinned_snapshot_bytes, want);
+        // A second snapshot adds its own charge.
+        let snap2 = lt.snapshot();
+        assert_eq!(
+            lt.stats().pinned_snapshot_bytes,
+            want + snap2.pinned_bytes()
+        );
+        drop(snap2);
+        drop(clone);
+        assert_eq!(lt.stats().pinned_snapshot_bytes, 0);
     }
 
     #[test]

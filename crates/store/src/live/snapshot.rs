@@ -19,8 +19,14 @@
 //! same rows, and never observes a torn row or a half-published
 //! segment. The `Mem → File` swap the sealer performs afterwards never
 //! touches a snapshot: it holds its own `Arc`s.
+//!
+//! Segments are *variable-sized* in blocks: the sealer may coalesce a
+//! run of adjacent deltas into one file, so a snapshot carries the
+//! block offset where each entry starts (`seg_starts`) instead of
+//! assuming one fixed segment width.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::backend::{PageOrigin, StorageBackend};
@@ -31,6 +37,30 @@ use crate::live::segment::SegmentEntry;
 use crate::schema::Schema;
 use crate::table::Table;
 
+/// Accounting token charged against a live table's
+/// `pinned_snapshot_bytes` gauge for the in-memory bytes one snapshot
+/// keeps alive (frozen-but-unsealed segments plus its tail copy).
+/// Shared by all clones of the snapshot — the charge is released once,
+/// when the last clone drops, even if the table is already gone.
+#[derive(Debug)]
+pub(crate) struct SnapshotPin {
+    bytes: u64,
+    gauge: Arc<AtomicU64>,
+}
+
+impl SnapshotPin {
+    pub(crate) fn new(bytes: u64, gauge: Arc<AtomicU64>) -> Self {
+        gauge.fetch_add(bytes, Ordering::Relaxed);
+        SnapshotPin { bytes, gauge }
+    }
+}
+
+impl Drop for SnapshotPin {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
 /// A consistent, immutable view of a live table at one instant; see the
 /// [module docs](self). Cheap to clone relative to the data: segments
 /// are shared by `Arc`, only the tail columns and bitmaps are owned.
@@ -38,9 +68,13 @@ use crate::table::Table;
 pub struct Snapshot {
     pub(crate) schema: Schema,
     pub(crate) tuples_per_block: usize,
-    pub(crate) blocks_per_segment: usize,
     pub(crate) entries: Vec<SegmentEntry>,
-    /// Rows covered by `entries` (`entries.len() * rows-per-segment`).
+    /// Block offset where each entry starts, plus one sentinel equal to
+    /// the total sealed block count (`entries.len() + 1` elements;
+    /// strictly increasing). Entries span differing block counts once
+    /// the sealer has coalesced deltas.
+    pub(crate) seg_starts: Vec<usize>,
+    /// Rows covered by `entries`.
     pub(crate) sealed_rows: usize,
     /// Frozen copy of the active delta at snapshot time (one column per
     /// attribute; all rows past `sealed_rows`).
@@ -49,6 +83,8 @@ pub struct Snapshot {
     /// Exact presence indexes over this snapshot's rows, one per
     /// attribute, shared so a service can hand them to `'static` tasks.
     pub(crate) bitmaps: Vec<Arc<BitmapIndex>>,
+    /// Retention accounting; see [`SnapshotPin`].
+    pub(crate) pin: Arc<SnapshotPin>,
 }
 
 impl Snapshot {
@@ -68,9 +104,17 @@ impl Snapshot {
         self.n_rows - self.sealed_rows
     }
 
-    /// Sealed segments visible to this snapshot.
+    /// Sealed segments visible to this snapshot. A coalesced seal
+    /// merges several deltas into one segment, so this can be smaller
+    /// than the number of deltas frozen.
     pub fn num_segments(&self) -> usize {
         self.entries.len()
+    }
+
+    /// In-memory bytes this snapshot is charged for in its parent
+    /// table's `pinned_snapshot_bytes` gauge.
+    pub fn pinned_bytes(&self) -> u64 {
+        self.pin.bytes
     }
 
     /// The exact per-(value, block) presence index of one attribute,
@@ -96,11 +140,11 @@ impl Snapshot {
             .collect();
         let mut buf = Vec::new();
         for (attr, col) in columns.iter_mut().enumerate() {
-            for entry in &self.entries {
+            for (i, entry) in self.entries.iter().enumerate() {
                 match entry {
                     SegmentEntry::Mem(t) => col.extend_from_slice(t.column(attr)),
                     SegmentEntry::File(be) => {
-                        for b in 0..self.blocks_per_segment {
+                        for b in 0..self.seg_starts[i + 1] - self.seg_starts[i] {
                             be.read_block_into(b, attr, &mut buf)?;
                             col.extend_from_slice(&buf);
                         }
@@ -112,13 +156,18 @@ impl Snapshot {
         Ok(Table::new(self.schema.clone(), columns))
     }
 
+    /// Total sealed blocks (block offset where the tail begins).
+    fn sealed_blocks(&self) -> usize {
+        *self.seg_starts.last().expect("seg_starts has a sentinel")
+    }
+
     /// Maps a global block id to its location.
     fn locate(&self, b: usize) -> BlockHome<'_> {
-        let sealed_blocks = self.entries.len() * self.blocks_per_segment;
-        if b < sealed_blocks {
+        if b < self.sealed_blocks() {
+            let seg = self.seg_starts.partition_point(|&s| s <= b) - 1;
             BlockHome::Segment {
-                entry: &self.entries[b / self.blocks_per_segment],
-                local: b % self.blocks_per_segment,
+                entry: &self.entries[seg],
+                local: b - self.seg_starts[seg],
             }
         } else {
             let start = b * self.tuples_per_block - self.sealed_rows;
@@ -177,17 +226,17 @@ impl StorageBackend for Snapshot {
         // (in-memory segments and the tail have nothing to warm). Hints
         // stay advisory end to end: a segment without readahead workers
         // simply drops its share.
-        let sealed_blocks = self.entries.len() * self.blocks_per_segment;
-        let clamped = blocks.start.min(sealed_blocks)..blocks.end.min(sealed_blocks);
-        let bps = self.blocks_per_segment;
-        let mut b = clamped.start;
-        while b < clamped.end {
-            let seg = b / bps;
-            let seg_end = ((seg + 1) * bps).min(clamped.end);
-            if let SegmentEntry::File(be) = &self.entries[seg] {
-                be.prefetch(b % bps..seg_end - seg * bps);
+        let sealed = self.sealed_blocks();
+        let clamped = blocks.start.min(sealed)..blocks.end.min(sealed);
+        for (i, entry) in self.entries.iter().enumerate() {
+            let (s, e) = (self.seg_starts[i], self.seg_starts[i + 1]);
+            let lo = clamped.start.max(s);
+            let hi = clamped.end.min(e);
+            if lo < hi {
+                if let SegmentEntry::File(be) = entry {
+                    be.prefetch(lo - s..hi - s);
+                }
             }
-            b = seg_end;
         }
     }
 }
