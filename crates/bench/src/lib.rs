@@ -12,7 +12,7 @@
 //! * `FASTMATCH_SEED` — base RNG seed (default 42).
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod ascii;
 pub mod env;

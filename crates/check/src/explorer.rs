@@ -1,0 +1,497 @@
+//! The interleaving explorer: bounded exhaustive DFS and seeded
+//! random walks over a [`Model`]'s schedules.
+//!
+//! A model is a state machine whose nondeterminism is *only* the
+//! scheduler's choice of which enabled step runs next. The explorer
+//! owns that choice: DFS enumerates every schedule up to a depth bound
+//! (deduplicating states it has already proven safe), the walker
+//! samples schedules from a seeded PRNG. Safety invariants are checked
+//! after every step; liveness is checked at quiescence (no step
+//! enabled) — a state where work remains but nothing is enabled *is*
+//! the deadlock, so "check at quiescence" is exactly "check for
+//! deadlock plus the model's end-state conditions".
+
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::Hash;
+
+/// One atomic transition of one actor. Steps are identified by
+/// `(actor, id)`; the label is for traces only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Which logical thread takes the step.
+    pub actor: usize,
+    /// Actor-local step discriminator, interpreted by
+    /// [`Model::apply`].
+    pub id: usize,
+    /// Human-readable description, printed in failing traces.
+    pub label: String,
+}
+
+impl Step {
+    /// Convenience constructor.
+    pub fn new(actor: usize, id: usize, label: impl Into<String>) -> Self {
+        Step {
+            actor,
+            id,
+            label: label.into(),
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[actor {}] {}", self.actor, self.label)
+    }
+}
+
+/// A named invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The invariant's stable name (documented in DESIGN.md
+    /// § "Concurrency protocols").
+    pub invariant: &'static str,
+    /// What was observed.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Convenience constructor.
+    pub fn new(invariant: &'static str, detail: impl Into<String>) -> Self {
+        Violation {
+            invariant,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "violation of `{}`: {}", self.invariant, self.detail)
+    }
+}
+
+/// A protocol under test, written as an explicit state machine.
+pub trait Model {
+    /// Full protocol state. Cloned per explored branch and hashed for
+    /// revisit pruning, so keep it small and canonical (no floats, no
+    /// incidental ordering).
+    type State: Clone + Eq + Hash + fmt::Debug;
+
+    /// Model name, used in reports.
+    fn name(&self) -> &'static str;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Every step enabled in `s`. An empty vector means `s` is
+    /// quiescent and [`Model::check_quiescent`] decides whether that
+    /// is a legitimate end state or a deadlock.
+    fn enabled(&self, s: &Self::State) -> Vec<Step>;
+
+    /// The successor of `s` under `step` (one of [`Model::enabled`]).
+    fn apply(&self, s: &Self::State, step: &Step) -> Self::State;
+
+    /// Safety invariants, evaluated on every reachable state.
+    fn check(&self, s: &Self::State) -> Result<(), Violation>;
+
+    /// Liveness / end-state conditions, evaluated whenever no step is
+    /// enabled.
+    fn check_quiescent(&self, s: &Self::State) -> Result<(), Violation>;
+}
+
+/// A failing schedule: the violation plus the (shrunk) step trace that
+/// reaches it. `Display` prints the trace step by step.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Which model failed.
+    pub model: &'static str,
+    /// The invariant that broke.
+    pub violation: Violation,
+    /// Steps from the initial state to the violating state.
+    pub trace: Vec<Step>,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "model `{}`: {}", self.model, self.violation)?;
+        writeln!(f, "failing schedule ({} steps):", self.trace.len())?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  {:>3}. {step}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Statistics of a clean exhaustive run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Distinct states visited (after dedup).
+    pub states: usize,
+    /// Quiescent states reached and checked.
+    pub quiescent: usize,
+    /// Branches cut by the depth bound (0 ⇒ the run was exhaustive
+    /// for the scope).
+    pub truncated: usize,
+    /// Deepest schedule prefix explored.
+    pub max_depth_seen: usize,
+}
+
+/// Statistics of a clean random-walk soak.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WalkStats {
+    /// Schedules executed.
+    pub schedules: usize,
+    /// Total steps across all schedules.
+    pub steps: usize,
+    /// Schedules that ran out of step budget before quiescing.
+    pub truncated: usize,
+}
+
+/// SplitMix64 — the crate's only randomness source, so soaks are
+/// reproducible from the seed alone.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Drives a [`Model`] through its interleavings.
+#[derive(Debug)]
+pub struct Explorer<M: Model> {
+    model: M,
+    /// Longest schedule prefix DFS follows before counting the branch
+    /// as truncated. Also the walker's per-schedule step budget.
+    pub max_depth: usize,
+    /// Cap on distinct states DFS stores; exceeding it aborts the run
+    /// with a panic (the scope is too big for exhaustive mode — use
+    /// [`Explorer::walk`]).
+    pub max_states: usize,
+}
+
+/// Result of replaying one concrete schedule.
+enum Replay {
+    /// Reached quiescence (or ran out of schedule) without violation.
+    Clean { steps: usize, quiescent: bool },
+    /// Hit a violation; the trace is the executed prefix.
+    Failed(Failure),
+}
+
+impl<M: Model> Explorer<M> {
+    /// An explorer with defaults suited to the in-repo models: scopes
+    /// small enough that exhaustion finishes in seconds.
+    pub fn new(model: M) -> Self {
+        Explorer {
+            model,
+            max_depth: 80,
+            max_states: 4_000_000,
+        }
+    }
+
+    /// The model under exploration.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exhaustive bounded DFS over every interleaving, deduplicating
+    /// revisited states. Invariants are checked on every distinct
+    /// state, quiescence conditions on every terminal state.
+    ///
+    /// # Panics
+    /// Panics if the state count exceeds `max_states` — that is a
+    /// scope bug in the caller, not a protocol violation.
+    pub fn explore(&self) -> Result<ExploreStats, Failure> {
+        let mut stats = ExploreStats::default();
+        let mut visited: HashSet<M::State> = HashSet::new();
+        // Each frame: the state, its enabled steps, the next branch to
+        // take. `path` mirrors the stack for trace reconstruction.
+        struct Frame<S> {
+            state: S,
+            steps: Vec<Step>,
+            next: usize,
+        }
+        let mut path: Vec<Step> = Vec::new();
+        let mut stack: Vec<Frame<M::State>> = Vec::new();
+
+        let init = self.model.initial();
+        self.enter(&init, &mut visited, &mut stats, &path)?;
+        stack.push(Frame {
+            steps: self.model.enabled(&init),
+            state: init,
+            next: 0,
+        });
+
+        while let Some(frame) = stack.last_mut() {
+            if frame.next >= frame.steps.len() {
+                stack.pop();
+                path.pop();
+                continue;
+            }
+            let step = frame.steps[frame.next].clone();
+            frame.next += 1;
+            if stack.len() > self.max_depth {
+                stats.truncated += 1;
+                continue;
+            }
+            let state = self.model.apply(&stack.last().expect("frame").state, &step);
+            path.push(step);
+            stats.max_depth_seen = stats.max_depth_seen.max(path.len());
+            if visited.contains(&state) {
+                path.pop();
+                continue;
+            }
+            self.enter(&state, &mut visited, &mut stats, &path)?;
+            stack.push(Frame {
+                steps: self.model.enabled(&state),
+                state,
+                next: 0,
+            });
+        }
+        Ok(stats)
+    }
+
+    /// Records a newly reached state: dedup bookkeeping, safety check,
+    /// and — when terminal — the quiescence check.
+    fn enter(
+        &self,
+        state: &M::State,
+        visited: &mut HashSet<M::State>,
+        stats: &mut ExploreStats,
+        path: &[Step],
+    ) -> Result<(), Failure> {
+        assert!(
+            visited.len() < self.max_states,
+            "model `{}` exceeded {} states — scope too large for exhaustive \
+             exploration, use walk()",
+            self.model.name(),
+            self.max_states
+        );
+        visited.insert(state.clone());
+        stats.states += 1;
+        self.model.check(state).map_err(|violation| Failure {
+            model: self.model.name(),
+            violation,
+            trace: path.to_vec(),
+        })?;
+        if self.model.enabled(state).is_empty() {
+            stats.quiescent += 1;
+            self.model
+                .check_quiescent(state)
+                .map_err(|violation| Failure {
+                    model: self.model.name(),
+                    violation,
+                    trace: path.to_vec(),
+                })?;
+        }
+        Ok(())
+    }
+
+    /// Seeded random-walk soak: `schedules` random schedules, each up
+    /// to `max_depth` steps. On a violation the failing schedule is
+    /// shrunk by greedy choice removal and replayed, so the returned
+    /// [`Failure`] carries a minimized step-by-step trace.
+    pub fn walk(&self, seed: u64, schedules: usize) -> Result<WalkStats, Failure> {
+        let mut stats = WalkStats::default();
+        let mut rng = Rng::new(seed);
+        for _ in 0..schedules {
+            // Record the raw choices so the schedule replays exactly.
+            let mut choices = Vec::new();
+            for _ in 0..self.max_depth {
+                choices.push(rng.next_u64());
+            }
+            match self.replay(&choices) {
+                Replay::Clean { steps, quiescent } => {
+                    stats.schedules += 1;
+                    stats.steps += steps;
+                    if !quiescent {
+                        stats.truncated += 1;
+                    }
+                }
+                Replay::Failed(_) => {
+                    let minimal = self.shrink(choices);
+                    match self.replay(&minimal) {
+                        Replay::Failed(failure) => return Err(failure),
+                        Replay::Clean { .. } => {
+                            unreachable!("shrink keeps only still-failing schedules")
+                        }
+                    }
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Replays a concrete schedule: at each state, the next choice
+    /// picks among the enabled steps (`choice % enabled.len()`). A
+    /// schedule shorter than the run continues with choice 0 —
+    /// dropping a choice during shrinking therefore stays meaningful.
+    fn replay(&self, choices: &[u64]) -> Replay {
+        let mut state = self.model.initial();
+        let mut trace = Vec::new();
+        let fail = |violation, trace: &[Step]| {
+            Replay::Failed(Failure {
+                model: self.model.name(),
+                violation,
+                trace: trace.to_vec(),
+            })
+        };
+        if let Err(v) = self.model.check(&state) {
+            return fail(v, &trace);
+        }
+        for i in 0..self.max_depth {
+            let enabled = self.model.enabled(&state);
+            if enabled.is_empty() {
+                return match self.model.check_quiescent(&state) {
+                    Ok(()) => Replay::Clean {
+                        steps: trace.len(),
+                        quiescent: true,
+                    },
+                    Err(v) => fail(v, &trace),
+                };
+            }
+            let choice = choices.get(i).copied().unwrap_or(0) as usize;
+            let step = enabled[choice % enabled.len()].clone();
+            state = self.model.apply(&state, &step);
+            trace.push(step);
+            if let Err(v) = self.model.check(&state) {
+                return fail(v, &trace);
+            }
+        }
+        Replay::Clean {
+            steps: trace.len(),
+            quiescent: false,
+        }
+    }
+
+    /// Greedy schedule minimization: repeatedly try dropping one
+    /// choice; keep any drop under which the schedule still fails.
+    /// Loops to a fixpoint, so the result is 1-minimal (no single
+    /// choice can be removed).
+    fn shrink(&self, mut choices: Vec<u64>) -> Vec<u64> {
+        loop {
+            let mut shrunk = false;
+            let mut i = 0;
+            while i < choices.len() {
+                let mut candidate = choices.clone();
+                candidate.remove(i);
+                if matches!(self.replay(&candidate), Replay::Failed(_)) {
+                    choices = candidate;
+                    shrunk = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !shrunk {
+                return choices;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy model: two actors each increment a shared counter twice;
+    /// the (deliberately broken) invariant caps the counter, so the
+    /// explorer must find and shrink a failing schedule.
+    struct Counter {
+        cap: u64,
+    }
+
+    impl Model for Counter {
+        type State = (u64, [usize; 2]);
+
+        fn name(&self) -> &'static str {
+            "counter"
+        }
+
+        fn initial(&self) -> Self::State {
+            (0, [0, 0])
+        }
+
+        fn enabled(&self, s: &Self::State) -> Vec<Step> {
+            (0..2)
+                .filter(|&a| s.1[a] < 2)
+                .map(|a| Step::new(a, 0, "incr"))
+                .collect()
+        }
+
+        fn apply(&self, s: &Self::State, step: &Step) -> Self::State {
+            let mut next = *s;
+            next.0 += 1;
+            next.1[step.actor] += 1;
+            next
+        }
+
+        fn check(&self, s: &Self::State) -> Result<(), Violation> {
+            if s.0 > self.cap {
+                return Err(Violation::new("cap", format!("counter reached {}", s.0)));
+            }
+            Ok(())
+        }
+
+        fn check_quiescent(&self, s: &Self::State) -> Result<(), Violation> {
+            if s.0 != 4 {
+                return Err(Violation::new("all-increments-land", format!("{}", s.0)));
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn exhaustive_pass_and_fail() {
+        let ok = Explorer::new(Counter { cap: 4 }).explore().unwrap();
+        assert!(ok.states > 0);
+        assert!(ok.quiescent >= 1);
+        assert_eq!(ok.truncated, 0, "scope must be fully explored");
+
+        let failure = Explorer::new(Counter { cap: 3 }).explore().unwrap_err();
+        assert_eq!(failure.violation.invariant, "cap");
+        assert_eq!(failure.trace.len(), 4, "trace reaches the 4th increment");
+    }
+
+    #[test]
+    fn walk_finds_and_shrinks() {
+        let failure = Explorer::new(Counter { cap: 2 })
+            .walk(0xfa57_ca7c, 64)
+            .unwrap_err();
+        assert_eq!(failure.violation.invariant, "cap");
+        // 1-minimal: exactly the three increments needed to pass the
+        // cap, nothing else.
+        assert_eq!(failure.trace.len(), 3);
+        let rendered = failure.to_string();
+        assert!(rendered.contains("violation of `cap`"));
+        assert!(rendered.contains("  1. [actor"));
+    }
+
+    #[test]
+    fn walk_clean_reports_stats() {
+        let stats = Explorer::new(Counter { cap: 4 }).walk(7, 32).unwrap();
+        assert_eq!(stats.schedules, 32);
+        assert_eq!(stats.truncated, 0);
+        assert_eq!(stats.steps, 32 * 4);
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let (mut a, mut b) = (Rng::new(42), Rng::new(42));
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(Rng::new(1).next_u64(), Rng::new(2).next_u64());
+    }
+}

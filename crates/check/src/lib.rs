@@ -1,0 +1,41 @@
+//! In-repo model checker for FastMatch's concurrency core.
+//!
+//! The engine and store rely on three hand-rolled synchronization
+//! protocols — the lock-free demand snapshot ([`fastmatch_engine::shared`]),
+//! the park/exit accounting of `ParallelMatch` and the shared-scheduler
+//! service, and the live-table append → freeze → seal → snapshot
+//! lifecycle. Unit tests exercise a handful of interleavings of each;
+//! this crate exhaustively enumerates *all* interleavings at small
+//! scopes, loom-style, with no external dependencies:
+//!
+//! * [`explorer::Model`] — a protocol written as an explicit state
+//!   machine: enumerable [`explorer::Step`]s, named invariants checked
+//!   after every step, and quiescence conditions (liveness) checked at
+//!   terminal states.
+//! * [`explorer::Explorer`] — bounded exhaustive DFS over
+//!   interleavings with state-hash pruning for small scopes, plus a
+//!   seeded random-walk mode for bigger ones; on a violation the
+//!   failing schedule is shrunk and replayed into a step-by-step trace.
+//! * [`models`] — four models that mirror the real code path for path,
+//!   sharing the extracted pure step functions
+//!   ([`fastmatch_engine::shared::PUBLISH_ORDER`],
+//!   [`fastmatch_engine::exec::all_live_parked`],
+//!   [`fastmatch_engine::service::queue_scan_order`],
+//!   [`fastmatch_store::live::build_seg_starts`], …) so the model and
+//!   the implementation cannot drift apart silently.
+//!
+//! Two historical races — the PR-2 two-bump demand publish and the
+//! PR-2 anonymous park tally — are kept as test-only mutations; the
+//! checker demonstrably re-finds both (see the `finds_pr2_*` tests),
+//! which is the evidence that it would catch their recurrence.
+//!
+//! See DESIGN.md § "Concurrency protocols" for the prose version of
+//! every invariant checked here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explorer;
+pub mod models;
+
+pub use explorer::{Explorer, Failure, Model, Step, Violation};

@@ -1,0 +1,323 @@
+//! Model of the lock-free demand publication protocol
+//! ([`fastmatch_engine::shared::SharedDemand`]).
+//!
+//! One publisher runs `rounds` publications, each executing the real
+//! [`PUBLISH_ORDER`] action list (remaining → mode → epoch). Parked
+//! readers wait on the epoch and, when woken, read the snapshot;
+//! polling readers read mode then demand without touching the epoch.
+//! Rounds double as ghost values: `rem_round` / `mode_round` track
+//! *which publication's* stores are currently visible, and every epoch
+//! bump records a *claim* — the round it announces as complete. The
+//! named invariants (DESIGN.md § "Concurrency protocols"):
+//!
+//! * `wake-sees-complete-mode` — a reader woken at epoch `e` observes
+//!   a mode at least as new as the round bump `e` claimed.
+//! * `wake-sees-complete-demand` — likewise for the per-candidate
+//!   demand counts.
+//! * `mode-implies-demand` — a polling reader that observes round
+//!   `r`'s mode observes demand from round ≥ `r` (the release-store
+//!   pairing in the real code).
+//! * `one-bump-per-publish` — at quiescence the epoch equals the
+//!   number of publications (exactly one bump each).
+//!
+//! The historical PR-2 protocol bumped the epoch in both `set_mode`
+//! and `publish_remaining`; `DemandPublish::with_two_bump_publish`
+//! reintroduces that order and the `finds_pr2_two_bump_publish_bug`
+//! test asserts the explorer re-finds the race.
+
+use fastmatch_engine::shared::{PublishAction, PUBLISH_ORDER};
+
+use crate::explorer::{Model, Step, Violation};
+
+/// Reader lifecycle. `Parked` readers are woken only by an epoch they
+/// have not seen; `Woken` readers read the snapshot next.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Reader {
+    /// Waiting for `epoch > seen`.
+    Parked {
+        /// Epoch the reader went to sleep at.
+        seen: u32,
+    },
+    /// Woken at `epoch`, holding the waking bump's completeness claim.
+    Woken {
+        /// Epoch observed at wake.
+        epoch: u32,
+        /// Round the waking bump claimed complete.
+        claim: u32,
+    },
+}
+
+/// Full protocol state; see the module docs for the ghost encoding.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct State {
+    /// Publisher program counter (index into rounds × order).
+    pc: usize,
+    /// Round whose `remaining` stores are visible (0 = none yet).
+    rem_round: u32,
+    /// Round whose mode store is visible.
+    mode_round: u32,
+    /// Epoch counter (number of bumps so far).
+    epoch: u32,
+    /// `claims[i]` = round bump `i + 1` announced as complete.
+    claims: Vec<u32>,
+    /// Parked readers.
+    readers: Vec<Reader>,
+    /// Poller program counter (2 steps per poll).
+    poll_pc: usize,
+    /// Mode round the poller saw in its half-finished poll.
+    poll_mode: Option<u32>,
+    /// Last completed wake observation: (claim, mode_round, rem_round).
+    wake_obs: Option<(u32, u32, u32)>,
+    /// Last completed poll observation: (mode_round, rem_round).
+    poll_obs: Option<(u32, u32)>,
+}
+
+/// The demand publication model. Construct with [`DemandPublish::new`]
+/// for the real protocol order.
+#[derive(Debug)]
+pub struct DemandPublish {
+    rounds: u32,
+    parked_readers: usize,
+    polls: usize,
+    /// Per-round publisher action list — [`PUBLISH_ORDER`] unless a
+    /// test mutation replaced it.
+    order: Vec<PublishAction>,
+}
+
+impl DemandPublish {
+    /// The real protocol: each publication runs [`PUBLISH_ORDER`].
+    pub fn new(rounds: u32, parked_readers: usize, polls: usize) -> Self {
+        DemandPublish {
+            rounds,
+            parked_readers,
+            polls,
+            order: PUBLISH_ORDER.to_vec(),
+        }
+    }
+
+    /// Historical PR-2 mutation: `set_mode` and `publish_remaining`
+    /// each bump the epoch, so one logical publication bumps twice and
+    /// the first bump lands before the demand stores.
+    #[cfg(test)]
+    pub fn with_two_bump_publish(rounds: u32, parked_readers: usize, polls: usize) -> Self {
+        DemandPublish {
+            rounds,
+            parked_readers,
+            polls,
+            order: vec![
+                PublishAction::StoreMode,
+                PublishAction::BumpEpoch,
+                PublishAction::StoreRemaining,
+                PublishAction::BumpEpoch,
+            ],
+        }
+    }
+
+    /// Bumps per publication under the configured order (1 for the
+    /// real protocol).
+    fn bumps_per_round(&self) -> u32 {
+        self.order
+            .iter()
+            .filter(|a| **a == PublishAction::BumpEpoch)
+            .count() as u32
+    }
+
+    /// Actor ids: 0 = publisher, 1..=parked = parked readers, then the
+    /// poller.
+    fn poller_actor(&self) -> usize {
+        1 + self.parked_readers
+    }
+}
+
+impl Model for DemandPublish {
+    type State = State;
+
+    fn name(&self) -> &'static str {
+        "demand_publish"
+    }
+
+    fn initial(&self) -> State {
+        State {
+            pc: 0,
+            rem_round: 0,
+            mode_round: 0,
+            epoch: 0,
+            claims: Vec::new(),
+            readers: vec![Reader::Parked { seen: 0 }; self.parked_readers],
+            poll_pc: 0,
+            poll_mode: None,
+            wake_obs: None,
+            poll_obs: None,
+        }
+    }
+
+    fn enabled(&self, s: &State) -> Vec<Step> {
+        let mut steps = Vec::new();
+        let program_len = self.rounds as usize * self.order.len();
+        if s.pc < program_len {
+            let round = s.pc / self.order.len() + 1;
+            let label = match self.order[s.pc % self.order.len()] {
+                PublishAction::StoreRemaining => format!("store-remaining r{round}"),
+                PublishAction::StoreMode => format!("store-mode r{round}"),
+                PublishAction::BumpEpoch => format!("bump-epoch r{round}"),
+            };
+            steps.push(Step::new(0, 0, label));
+        }
+        for (i, reader) in s.readers.iter().enumerate() {
+            match reader {
+                Reader::Parked { seen } if s.epoch > *seen => {
+                    steps.push(Step::new(1 + i, 0, format!("wake e{}", s.epoch)));
+                }
+                Reader::Parked { .. } => {}
+                Reader::Woken { .. } => {
+                    steps.push(Step::new(1 + i, 1, "read-snapshot"));
+                }
+            }
+        }
+        if s.poll_pc < 2 * self.polls {
+            let (id, label) = if s.poll_pc.is_multiple_of(2) {
+                (0, "poll-mode")
+            } else {
+                (1, "poll-remaining")
+            };
+            steps.push(Step::new(self.poller_actor(), id, label));
+        }
+        steps
+    }
+
+    fn apply(&self, s: &State, step: &Step) -> State {
+        let mut n = s.clone();
+        // Observations are one-shot: clear last step's so `check` only
+        // ever judges the transition that just happened.
+        n.wake_obs = None;
+        n.poll_obs = None;
+        if step.actor == 0 {
+            let round = (s.pc / self.order.len() + 1) as u32;
+            match self.order[s.pc % self.order.len()] {
+                PublishAction::StoreRemaining => n.rem_round = round,
+                PublishAction::StoreMode => n.mode_round = round,
+                PublishAction::BumpEpoch => {
+                    n.epoch += 1;
+                    n.claims.push(round);
+                }
+            }
+            n.pc += 1;
+        } else if step.actor == self.poller_actor() {
+            if step.id == 0 {
+                n.poll_mode = Some(s.mode_round);
+            } else {
+                n.poll_obs = Some((s.poll_mode.unwrap_or(0), s.rem_round));
+                n.poll_mode = None;
+            }
+            n.poll_pc += 1;
+        } else {
+            let r = step.actor - 1;
+            n.readers[r] = match (&s.readers[r], step.id) {
+                (Reader::Parked { .. }, 0) => Reader::Woken {
+                    epoch: s.epoch,
+                    claim: s.claims[s.epoch as usize - 1],
+                },
+                (Reader::Woken { epoch, claim }, 1) => {
+                    n.wake_obs = Some((*claim, s.mode_round, s.rem_round));
+                    Reader::Parked { seen: *epoch }
+                }
+                other => unreachable!("reader step {:?} in state {:?}", step, other),
+            };
+        }
+        n
+    }
+
+    fn check(&self, s: &State) -> Result<(), Violation> {
+        if let Some((claim, mode, rem)) = s.wake_obs {
+            if mode < claim {
+                return Err(Violation::new(
+                    "wake-sees-complete-mode",
+                    format!(
+                        "woken by a bump claiming round {claim}, observed mode of round {mode}"
+                    ),
+                ));
+            }
+            if rem < claim {
+                return Err(Violation::new(
+                    "wake-sees-complete-demand",
+                    format!(
+                        "woken by a bump claiming round {claim}, observed demand of round {rem}"
+                    ),
+                ));
+            }
+        }
+        if let Some((mode, rem)) = s.poll_obs {
+            if rem < mode {
+                return Err(Violation::new(
+                    "mode-implies-demand",
+                    format!("polled mode of round {mode} but demand of round {rem}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_quiescent(&self, s: &State) -> Result<(), Violation> {
+        let want = self.rounds * self.bumps_per_round();
+        if s.epoch != want {
+            return Err(Violation::new(
+                "one-bump-per-publish",
+                format!(
+                    "{} publications ended at epoch {} (expected {want})",
+                    self.rounds, s.epoch
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::Explorer;
+
+    #[test]
+    fn current_protocol_is_race_free() {
+        let stats = Explorer::new(DemandPublish::new(2, 2, 2))
+            .explore()
+            .unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(stats.truncated, 0, "scope must be fully explored");
+        assert!(stats.quiescent >= 1);
+    }
+
+    #[test]
+    fn finds_pr2_two_bump_publish_bug() {
+        // Parked readers only: the poller would also flag the mutated
+        // order, but the historical symptom was a *woken* worker acting
+        // on a half-published snapshot.
+        let failure = Explorer::new(DemandPublish::with_two_bump_publish(2, 1, 0))
+            .explore()
+            .expect_err("the two-bump publish race must be found");
+        assert_eq!(failure.violation.invariant, "wake-sees-complete-demand");
+        assert!(
+            !failure.trace.is_empty(),
+            "failure must carry the schedule that exposes the race"
+        );
+    }
+
+    #[test]
+    fn two_bump_mutation_also_breaks_polling_readers() {
+        let failure = Explorer::new(DemandPublish::with_two_bump_publish(2, 0, 2))
+            .explore()
+            .expect_err("mode published before demand must be observable");
+        assert_eq!(failure.violation.invariant, "mode-implies-demand");
+    }
+
+    #[test]
+    fn walk_mode_agrees_with_exhaustion() {
+        let stats = Explorer::new(DemandPublish::new(2, 2, 2))
+            .walk(0xd3_ad_b3_3f, 500)
+            .unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(stats.schedules, 500);
+        let failure = Explorer::new(DemandPublish::with_two_bump_publish(2, 1, 0))
+            .walk(0xd3_ad_b3_3f, 500)
+            .expect_err("soak mode must also find the historical race");
+        assert_eq!(failure.violation.invariant, "wake-sees-complete-demand");
+    }
+}

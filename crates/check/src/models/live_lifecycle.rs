@@ -1,0 +1,409 @@
+//! Model of the live table's append → freeze → install-before-seal →
+//! snapshot lifecycle ([`fastmatch_store::live`]).
+//!
+//! Appenders fill the in-memory delta under the state lock; a full
+//! delta is *frozen and installed in the same critical section* (the
+//! entry is visible to snapshots immediately) and only then queued for
+//! the background sealer, whose `Mem → File` swap never changes row or
+//! block counts — and whose *failure* leaves the in-memory entry
+//! serving reads. Snapshot clients take, clone and drop snapshots
+//! concurrently; the watermark arithmetic
+//! ([`build_seg_starts`], [`locate_segment`]) and the pin accounting
+//! ([`snapshot_pinned_bytes`]) are the extracted functions the real
+//! [`fastmatch_store::live::LiveTable::snapshot`] runs. Named
+//! invariants (DESIGN.md § "Concurrency protocols"):
+//!
+//! * `no-visibility-gap` — every snapshot covers exactly the rows
+//!   appended before it: sealed watermark plus tail equals the append
+//!   count, with no frozen-but-invisible window.
+//! * `snapshot-is-prefix` — a snapshot's watermark is immutable: the
+//!   entries it references never change row/block extent afterwards,
+//!   and its `seg_starts` stays the prefix-sum of those entries (so
+//!   [`locate_segment`] keeps resolving identically for its lifetime).
+//! * `pin-balance` — the table's pinned-bytes gauge always equals the
+//!   sum of live snapshots' charges, and returns to zero once the last
+//!   clone drops.
+//!
+//! `LiveLifecycle::with_install_after_seal` mutates freeze to
+//! install the entry only when the seal completes — the plausible
+//! "defer installation" refactor — and `finds_install_after_seal_gap`
+//! asserts the explorer catches the visibility window it opens.
+
+use std::collections::VecDeque;
+
+use fastmatch_store::live::snapshot::locate_segment;
+use fastmatch_store::live::{build_seg_starts, snapshot_pinned_bytes};
+
+use crate::explorer::{Model, Step, Violation};
+
+/// Attributes per row (matches the 2-attribute test schema; the pin
+/// arithmetic scales linearly so one value suffices).
+const N_ATTRS: usize = 2;
+
+/// One installed segment entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Entry {
+    rows: usize,
+    blocks: usize,
+    /// `false` = in-memory (`Mem`), `true` = sealed to file (`File`).
+    sealed: bool,
+}
+
+/// One live snapshot with its frozen watermark.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Snap {
+    seg_starts: Vec<usize>,
+    sealed_rows: usize,
+    tail_rows: usize,
+    /// Appended rows at snapshot time (ghost; must equal
+    /// `sealed_rows + tail_rows`).
+    expected_rows: usize,
+    pinned: u64,
+    /// Live clones sharing the pin.
+    refs: u8,
+}
+
+/// Full protocol state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct State {
+    /// Ground-truth rows appended.
+    appended: usize,
+    /// Active delta rows.
+    mem_rows: usize,
+    /// Rows frozen but not yet installed (always 0 in the real
+    /// protocol; nonzero only under the install-after-seal mutation).
+    uninstalled_rows: usize,
+    entries: Vec<Entry>,
+    /// Pending seal jobs: (entry index or, under the mutation, the row
+    /// count to install on completion).
+    seal_queue: VecDeque<usize>,
+    snaps: Vec<Snap>,
+    /// The pinned-bytes gauge.
+    gauge: u64,
+    /// Snapshots taken so far (bounds the client).
+    taken: u8,
+    /// Clones made so far (bounds the client).
+    cloned: u8,
+    /// Seal failures observed (counted, never fatal).
+    seal_fails: u8,
+}
+
+/// The live-table lifecycle model.
+#[derive(Debug)]
+pub struct LiveLifecycle {
+    /// Rows the appender writes in total.
+    appends: usize,
+    /// Freeze threshold (rows per delta; one row per block, so blocks
+    /// = rows).
+    rows_per_delta: usize,
+    /// Snapshot budget.
+    max_snaps: u8,
+    /// Clone budget.
+    max_clones: u8,
+    /// Mutation: install the frozen delta only after its seal
+    /// completes.
+    install_after_seal: bool,
+}
+
+impl LiveLifecycle {
+    /// The real protocol: freeze installs the entry immediately.
+    pub fn new(appends: usize, rows_per_delta: usize, max_snaps: u8, max_clones: u8) -> Self {
+        LiveLifecycle {
+            appends,
+            rows_per_delta,
+            max_snaps,
+            max_clones,
+            install_after_seal: false,
+        }
+    }
+
+    /// Plausible-refactor mutation: defer installation to seal
+    /// completion, opening a window where frozen rows are invisible to
+    /// snapshots.
+    #[cfg(test)]
+    pub fn with_install_after_seal(
+        appends: usize,
+        rows_per_delta: usize,
+        max_snaps: u8,
+        max_clones: u8,
+    ) -> Self {
+        LiveLifecycle {
+            appends,
+            rows_per_delta,
+            max_snaps,
+            max_clones,
+            install_after_seal: true,
+        }
+    }
+
+    /// Rows held by still-in-memory (unsealed) installed entries —
+    /// what a snapshot's pin charges for beyond its tail copy.
+    fn frozen_mem_rows(s: &State) -> usize {
+        s.entries.iter().filter(|e| !e.sealed).map(|e| e.rows).sum()
+    }
+}
+
+/// Actor ids.
+const APPENDER: usize = 0;
+const SEALER: usize = 1;
+const CLIENT: usize = 2;
+
+/// Client step ids: take, then clone/drop keyed by snapshot index.
+const TAKE: usize = 0;
+const CLONE_BASE: usize = 10;
+const DROP_BASE: usize = 40;
+
+impl Model for LiveLifecycle {
+    type State = State;
+
+    fn name(&self) -> &'static str {
+        "live_lifecycle"
+    }
+
+    fn initial(&self) -> State {
+        State {
+            appended: 0,
+            mem_rows: 0,
+            uninstalled_rows: 0,
+            entries: Vec::new(),
+            seal_queue: VecDeque::new(),
+            snaps: Vec::new(),
+            gauge: 0,
+            taken: 0,
+            cloned: 0,
+            seal_fails: 0,
+        }
+    }
+
+    fn enabled(&self, s: &State) -> Vec<Step> {
+        let mut steps = Vec::new();
+        if s.appended < self.appends {
+            let freezes = s.mem_rows + 1 == self.rows_per_delta;
+            let label = if freezes {
+                "append row, freeze + install delta"
+            } else {
+                "append row"
+            };
+            steps.push(Step::new(APPENDER, 0, label));
+        }
+        if !s.seal_queue.is_empty() {
+            steps.push(Step::new(SEALER, 0, "seal job: write ok, swap Mem→File"));
+            steps.push(Step::new(SEALER, 1, "seal job: write fails, keep Mem"));
+        }
+        if s.taken < self.max_snaps {
+            steps.push(Step::new(CLIENT, TAKE, "take snapshot"));
+        }
+        for (i, snap) in s.snaps.iter().enumerate() {
+            if snap.refs > 0 {
+                if s.cloned < self.max_clones {
+                    steps.push(Step::new(
+                        CLIENT,
+                        CLONE_BASE + i,
+                        format!("clone snapshot {i}"),
+                    ));
+                }
+                steps.push(Step::new(
+                    CLIENT,
+                    DROP_BASE + i,
+                    format!("drop snapshot {i}"),
+                ));
+            }
+        }
+        steps
+    }
+
+    fn apply(&self, s: &State, step: &Step) -> State {
+        let mut n = s.clone();
+        match step.actor {
+            APPENDER => {
+                // One critical section, like append_checked: extend the
+                // delta and, if it filled, freeze + install + queue the
+                // seal job before the lock drops.
+                n.mem_rows += 1;
+                n.appended += 1;
+                if n.mem_rows == self.rows_per_delta {
+                    if self.install_after_seal {
+                        n.uninstalled_rows += n.mem_rows;
+                        n.seal_queue.push_back(n.mem_rows);
+                    } else {
+                        n.entries.push(Entry {
+                            rows: n.mem_rows,
+                            blocks: n.mem_rows,
+                            sealed: false,
+                        });
+                        n.seal_queue.push_back(n.entries.len() - 1);
+                    }
+                    n.mem_rows = 0;
+                }
+            }
+            SEALER => {
+                let job = n
+                    .seal_queue
+                    .pop_front()
+                    .expect("seal enabled on empty queue");
+                if self.install_after_seal {
+                    // Mutation: the entry only becomes visible now (or,
+                    // on failure, stays in memory but is installed too —
+                    // the window is before this point either way).
+                    n.entries.push(Entry {
+                        rows: job,
+                        blocks: job,
+                        sealed: step.id == 0,
+                    });
+                    n.uninstalled_rows -= job;
+                } else if step.id == 0 {
+                    n.entries[job].sealed = true;
+                }
+                if step.id == 1 {
+                    n.seal_fails += 1;
+                }
+            }
+            CLIENT => match step.id {
+                TAKE => {
+                    // The real snapshot(): watermark, pin charge and
+                    // gauge bump in one critical section, via the same
+                    // extracted arithmetic LiveTable::snapshot uses.
+                    let seg_starts = build_seg_starts(s.entries.iter().map(|e| e.blocks));
+                    let sealed_rows: usize = s.entries.iter().map(|e| e.rows).sum();
+                    let pinned =
+                        snapshot_pinned_bytes(Self::frozen_mem_rows(s), s.mem_rows, N_ATTRS);
+                    n.gauge += pinned;
+                    n.taken += 1;
+                    n.snaps.push(Snap {
+                        seg_starts,
+                        sealed_rows,
+                        tail_rows: s.mem_rows,
+                        expected_rows: s.appended,
+                        pinned,
+                        refs: 1,
+                    });
+                }
+                id if id >= DROP_BASE => {
+                    let snap = &mut n.snaps[id - DROP_BASE];
+                    snap.refs -= 1;
+                    if snap.refs == 0 {
+                        // Last clone: SnapshotPin::drop releases the
+                        // whole charge exactly once.
+                        n.gauge -= snap.pinned;
+                    }
+                }
+                id => {
+                    n.snaps[id - CLONE_BASE].refs += 1;
+                    n.cloned += 1;
+                }
+            },
+            other => unreachable!("unknown actor {other}"),
+        }
+        n
+    }
+
+    fn check(&self, s: &State) -> Result<(), Violation> {
+        for (i, snap) in s.snaps.iter().enumerate() {
+            if snap.sealed_rows + snap.tail_rows != snap.expected_rows {
+                return Err(Violation::new(
+                    "no-visibility-gap",
+                    format!(
+                        "snapshot {i} sees {} sealed + {} tail rows but {} were appended",
+                        snap.sealed_rows, snap.tail_rows, snap.expected_rows
+                    ),
+                ));
+            }
+            if snap.refs == 0 {
+                continue;
+            }
+            // Watermark immutability: the entries this snapshot froze
+            // must still prefix-sum to its seg_starts, and every sealed
+            // block must resolve to the segment that owned it at
+            // snapshot time.
+            let frozen = snap.seg_starts.len() - 1;
+            let current = build_seg_starts(s.entries.iter().take(frozen).map(|e| e.blocks));
+            if s.entries.len() < frozen || current != snap.seg_starts {
+                return Err(Violation::new(
+                    "snapshot-is-prefix",
+                    format!(
+                        "snapshot {i} froze seg_starts {:?} but the table now prefixes to {:?}",
+                        snap.seg_starts, current
+                    ),
+                ));
+            }
+            for b in 0..*snap.seg_starts.last().unwrap_or(&0) {
+                let seg = locate_segment(&snap.seg_starts, b);
+                if !(snap.seg_starts[seg]..snap.seg_starts[seg + 1]).contains(&b) {
+                    return Err(Violation::new(
+                        "snapshot-is-prefix",
+                        format!("block {b} resolved outside segment {seg}"),
+                    ));
+                }
+            }
+        }
+        let live: u64 = s
+            .snaps
+            .iter()
+            .filter(|p| p.refs > 0)
+            .map(|p| p.pinned)
+            .sum();
+        if s.gauge != live {
+            return Err(Violation::new(
+                "pin-balance",
+                format!("gauge {} but live snapshots pin {live}", s.gauge),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_quiescent(&self, s: &State) -> Result<(), Violation> {
+        // Quiescence: appender done, sealer drained, every snapshot
+        // dropped — so the gauge must be fully released.
+        if s.gauge != 0 {
+            return Err(Violation::new(
+                "pin-balance",
+                format!("gauge {} after the last snapshot dropped", s.gauge),
+            ));
+        }
+        if !s.seal_queue.is_empty() {
+            return Err(Violation::new(
+                "pin-balance",
+                "seal queue not drained at quiescence".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::Explorer;
+
+    #[test]
+    fn current_lifecycle_is_clean() {
+        // 4 appends at 2 rows/delta: two freezes, seal success *and*
+        // failure branches, two snapshots with a clone racing appends
+        // and seals.
+        let stats = Explorer::new(LiveLifecycle::new(4, 2, 2, 1))
+            .explore()
+            .unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(stats.truncated, 0, "scope must be fully explored");
+        assert!(stats.quiescent >= 1);
+    }
+
+    #[test]
+    fn finds_install_after_seal_gap() {
+        let failure = Explorer::new(LiveLifecycle::with_install_after_seal(2, 2, 1, 0))
+            .explore()
+            .expect_err("deferring installation must open a visibility gap");
+        assert_eq!(failure.violation.invariant, "no-visibility-gap");
+    }
+
+    #[test]
+    fn walk_mode_agrees_with_exhaustion() {
+        let stats = Explorer::new(LiveLifecycle::new(4, 2, 2, 1))
+            .walk(0x11fe_c7c1e, 500)
+            .unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(stats.schedules, 500);
+        let failure = Explorer::new(LiveLifecycle::with_install_after_seal(2, 2, 1, 0))
+            .walk(0x11fe_c7c1e, 500)
+            .expect_err("soak mode must also find the visibility gap");
+        assert_eq!(failure.violation.invariant, "no-visibility-gap");
+    }
+}

@@ -1,0 +1,31 @@
+//! The four protocol models, each mirroring one concurrency core of
+//! the real system path for path:
+//!
+//! * [`demand_publish`] — the lock-free demand snapshot's
+//!   remaining → mode → epoch publication order
+//!   ([`fastmatch_engine::shared`]).
+//! * [`park_exit`] — `ParallelMatch`'s parked/exited worker
+//!   accounting ([`fastmatch_engine::exec::all_live_parked`]).
+//! * [`admission_steal`] — the service's admission bound and
+//!   per-worker queues with stealing
+//!   ([`fastmatch_engine::service::queue_scan_order`]).
+//! * [`live_lifecycle`] — the live table's append → freeze →
+//!   install-before-seal → snapshot lifecycle
+//!   ([`fastmatch_store::live`]).
+//!
+//! Every model imports the extracted pure step functions the real code
+//! executes, so protocol drift between implementation and model shows
+//! up as a compile error or a checker violation, not silence. Each
+//! also carries test-only mutations that reintroduce a historical (or
+//! plausible) bug; the `finds_*` unit tests assert the explorer
+//! catches them.
+
+pub mod admission_steal;
+pub mod demand_publish;
+pub mod live_lifecycle;
+pub mod park_exit;
+
+pub use admission_steal::AdmissionSteal;
+pub use demand_publish::DemandPublish;
+pub use live_lifecycle::LiveLifecycle;
+pub use park_exit::ParkExit;

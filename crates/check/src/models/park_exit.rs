@@ -1,0 +1,354 @@
+//! Model of `ParallelMatch`'s parked/exited worker accounting
+//! ([`fastmatch_engine::exec::all_live_parked`]).
+//!
+//! Shard workers stream messages to the statistics loop: `Batch` for
+//! ingested blocks, `IdlePass` when a full pass over their shard found
+//! nothing matching current demand (then they park on the demand
+//! epoch), `ShardExhausted` when every block is read (then they exit).
+//! The engine's wake rule — escalate demand and bump the epoch when
+//! *every still-live* worker is parked — is exactly the extracted
+//! [`all_live_parked`] the real stats loop calls, both on `IdlePass`
+//! **and again when an exhaustion shrinks the live set**. Named
+//! invariants (DESIGN.md § "Concurrency protocols"):
+//!
+//! * `all-parked-implies-wake` — after every engine step, the engine's
+//!   view never rests in a state where the whole live set is parked
+//!   (the wake must have fired inside the same step).
+//! * `no-all-parked-deadlock` — no worker is still parked at
+//!   quiescence.
+//! * `exact-finish-only-when-exhausted` — the engine declares the
+//!   exact finish only once its view shows every worker exhausted, and
+//!   every block was ingested by then.
+//!
+//! The historical PR-2 protocol tallied parked/exited workers as
+//! anonymous counters and only ran the wake check when an `IdlePass`
+//! arrived — a late `ShardExhausted` shrank the live set without
+//! re-checking, leaving the last parked worker asleep forever.
+//! `ParkExit::with_anonymous_tally` reintroduces that rule and
+//! `finds_pr2_anonymous_park_tally_deadlock` asserts the explorer
+//! re-finds the deadlock.
+
+use std::collections::VecDeque;
+
+use fastmatch_engine::exec::all_live_parked;
+
+use crate::explorer::{Model, Step, Violation};
+
+/// A message from a shard worker to the stats loop, mirroring the real
+/// `Msg` enum.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Msg {
+    /// One ingested block.
+    Batch,
+    /// A full pass found nothing; the sender is parking.
+    IdlePass(usize),
+    /// The sender's shard is fully read; the sender exited.
+    ShardExhausted(usize),
+}
+
+/// Worker lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Worker {
+    /// Scanning its shard.
+    Scanning,
+    /// Parked on the demand epoch it last observed.
+    Parked(u8),
+    /// Exited after `ShardExhausted`.
+    Exited,
+}
+
+/// Full protocol state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct State {
+    /// Per worker: blocks matching the initial (selective) demand.
+    useful: Vec<u8>,
+    /// Per worker: blocks matching only after demand escalates.
+    stale: Vec<u8>,
+    phase: Vec<Worker>,
+    /// In-flight messages (the mpsc channel).
+    queue: VecDeque<Msg>,
+    /// Demand epoch; a bump wakes parked workers.
+    epoch: u8,
+    /// Whether demand has escalated (stale blocks now match).
+    escalated: bool,
+    /// Engine's per-worker idle view (`IdlePass` seen, not yet woken).
+    idle: Vec<bool>,
+    /// Engine's per-worker exhausted view.
+    exhausted: Vec<bool>,
+    /// Anonymous-tally mirror (used for decisions only under the
+    /// mutation; always maintained so states stay canonical).
+    parked_count: u8,
+    live_count: u8,
+    /// Blocks the engine has ingested.
+    batches: u8,
+    /// Engine declared the exact finish.
+    done: bool,
+}
+
+/// The park/exit model. Construct with [`ParkExit::new`] for the real
+/// identity-tracking protocol.
+#[derive(Debug)]
+pub struct ParkExit {
+    /// Per worker: (useful blocks, stale blocks).
+    shards: Vec<(u8, u8)>,
+    /// Mutation flag: PR-2's anonymous counters without the
+    /// exhaustion-time re-check.
+    anonymous_tally: bool,
+}
+
+impl ParkExit {
+    /// The real protocol: identity vectors, wake re-checked on both
+    /// `IdlePass` and `ShardExhausted`.
+    pub fn new(shards: Vec<(u8, u8)>) -> Self {
+        ParkExit {
+            shards,
+            anonymous_tally: false,
+        }
+    }
+
+    /// Historical PR-2 mutation: anonymous parked/live counters, wake
+    /// checked only when an `IdlePass` arrives.
+    #[cfg(test)]
+    pub fn with_anonymous_tally(shards: Vec<(u8, u8)>) -> Self {
+        ParkExit {
+            shards,
+            anonymous_tally: true,
+        }
+    }
+
+    /// Actor id of the engine (workers are 0..n).
+    fn engine_actor(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total blocks across all shards — the exact-finish target.
+    fn total_blocks(&self) -> u8 {
+        self.shards.iter().map(|(u, s)| u + s).sum()
+    }
+
+    /// Escalates demand: bump the epoch (waking parked workers) and
+    /// reset the engine's idle view for the new pass.
+    fn escalate(n: &mut State) {
+        n.epoch += 1;
+        n.escalated = true;
+        n.idle.iter_mut().for_each(|i| *i = false);
+        n.parked_count = 0;
+    }
+}
+
+impl Model for ParkExit {
+    type State = State;
+
+    fn name(&self) -> &'static str {
+        "park_exit"
+    }
+
+    fn initial(&self) -> State {
+        let n = self.shards.len();
+        State {
+            useful: self.shards.iter().map(|&(u, _)| u).collect(),
+            stale: self.shards.iter().map(|&(_, s)| s).collect(),
+            phase: vec![Worker::Scanning; n],
+            queue: VecDeque::new(),
+            epoch: 0,
+            escalated: false,
+            idle: vec![false; n],
+            exhausted: vec![false; n],
+            parked_count: 0,
+            live_count: n as u8,
+            batches: 0,
+            done: false,
+        }
+    }
+
+    fn enabled(&self, s: &State) -> Vec<Step> {
+        let mut steps = Vec::new();
+        for w in 0..self.shards.len() {
+            match s.phase[w] {
+                Worker::Scanning => {
+                    let label = if s.useful[w] > 0 || (s.escalated && s.stale[w] > 0) {
+                        "send batch"
+                    } else if !s.escalated && s.stale[w] > 0 {
+                        "send idle-pass, park"
+                    } else {
+                        "send shard-exhausted, exit"
+                    };
+                    steps.push(Step::new(w, 0, label));
+                }
+                Worker::Parked(at) if s.epoch > at => {
+                    steps.push(Step::new(w, 1, format!("wake e{}", s.epoch)));
+                }
+                Worker::Parked(_) | Worker::Exited => {}
+            }
+        }
+        if let Some(msg) = s.queue.front() {
+            let label = match msg {
+                Msg::Batch => "recv batch".to_string(),
+                Msg::IdlePass(w) => format!("recv idle-pass(w{w})"),
+                Msg::ShardExhausted(w) => format!("recv shard-exhausted(w{w})"),
+            };
+            steps.push(Step::new(self.engine_actor(), 0, label));
+        }
+        steps
+    }
+
+    fn apply(&self, s: &State, step: &Step) -> State {
+        let mut n = s.clone();
+        if step.actor < self.shards.len() {
+            let w = step.actor;
+            match step.id {
+                0 => {
+                    if s.useful[w] > 0 {
+                        n.useful[w] -= 1;
+                        n.queue.push_back(Msg::Batch);
+                    } else if s.escalated && s.stale[w] > 0 {
+                        n.stale[w] -= 1;
+                        n.queue.push_back(Msg::Batch);
+                    } else if !s.escalated && s.stale[w] > 0 {
+                        n.queue.push_back(Msg::IdlePass(w));
+                        n.phase[w] = Worker::Parked(s.epoch);
+                    } else {
+                        n.queue.push_back(Msg::ShardExhausted(w));
+                        n.phase[w] = Worker::Exited;
+                    }
+                }
+                _ => n.phase[w] = Worker::Scanning,
+            }
+        } else {
+            match n.queue.pop_front().expect("recv enabled on empty queue") {
+                Msg::Batch => n.batches += 1,
+                Msg::IdlePass(w) => {
+                    n.idle[w] = true;
+                    n.parked_count += 1;
+                    let wake = if self.anonymous_tally {
+                        n.live_count > 0 && n.parked_count >= n.live_count
+                    } else {
+                        all_live_parked(&n.idle, &n.exhausted)
+                    };
+                    if wake {
+                        Self::escalate(&mut n);
+                    }
+                }
+                Msg::ShardExhausted(w) => {
+                    n.exhausted[w] = true;
+                    n.idle[w] = false;
+                    n.live_count -= 1;
+                    // The load-bearing re-check: the live set just
+                    // shrank, so the remaining workers may now all be
+                    // parked. PR-2's anonymous tally skipped it.
+                    if !self.anonymous_tally && all_live_parked(&n.idle, &n.exhausted) {
+                        Self::escalate(&mut n);
+                    }
+                    if n.exhausted.iter().all(|&e| e) {
+                        n.done = true;
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    fn check(&self, s: &State) -> Result<(), Violation> {
+        if all_live_parked(&s.idle, &s.exhausted) {
+            return Err(Violation::new(
+                "all-parked-implies-wake",
+                format!(
+                    "engine view rests with every live worker parked \
+                     (idle {:?}, exhausted {:?})",
+                    s.idle, s.exhausted
+                ),
+            ));
+        }
+        if s.done && !s.exhausted.iter().all(|&e| e) {
+            return Err(Violation::new(
+                "exact-finish-only-when-exhausted",
+                format!("finished exact with exhausted view {:?}", s.exhausted),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_quiescent(&self, s: &State) -> Result<(), Violation> {
+        if let Some(w) = s.phase.iter().position(|p| matches!(p, Worker::Parked(_))) {
+            return Err(Violation::new(
+                "no-all-parked-deadlock",
+                format!("worker {w} is parked at quiescence — nobody left to wake it"),
+            ));
+        }
+        if !s.done || s.batches != self.total_blocks() {
+            return Err(Violation::new(
+                "exact-finish-only-when-exhausted",
+                format!(
+                    "quiescent without the exact finish: done={}, {}/{} blocks ingested",
+                    s.done,
+                    s.batches,
+                    self.total_blocks()
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::Explorer;
+
+    /// The minimal historical scenario: worker 0's shard holds nothing
+    /// (it exhausts immediately); worker 1 holds one block that only
+    /// matches after escalation (it idle-parks first).
+    fn historical_shards() -> Vec<(u8, u8)> {
+        vec![(0, 0), (0, 1)]
+    }
+
+    #[test]
+    fn current_protocol_has_no_parked_deadlock() {
+        for shards in [
+            historical_shards(),
+            vec![(1, 1), (0, 1)],
+            vec![(0, 1), (0, 1), (1, 0)],
+        ] {
+            let stats = Explorer::new(ParkExit::new(shards))
+                .explore()
+                .unwrap_or_else(|f| panic!("{f}"));
+            assert_eq!(stats.truncated, 0, "scope must be fully explored");
+            assert!(stats.quiescent >= 1);
+        }
+    }
+
+    #[test]
+    fn finds_pr2_anonymous_park_tally_deadlock() {
+        let failure = Explorer::new(ParkExit::with_anonymous_tally(historical_shards()))
+            .explore()
+            .expect_err("the anonymous-tally deadlock must be found");
+        // Two lenses on the same bug: the engine's view rests all-parked
+        // (safety) and the parked worker is never woken (liveness).
+        // Which one the search trips first depends on visit order; both
+        // are the historical deadlock.
+        assert!(
+            ["all-parked-implies-wake", "no-all-parked-deadlock"]
+                .contains(&failure.violation.invariant),
+            "unexpected invariant: {}",
+            failure.violation
+        );
+        let trace = failure.to_string();
+        assert!(
+            trace.contains("recv shard-exhausted(w0)"),
+            "the failing schedule must show the live set shrinking:\n{trace}"
+        );
+    }
+
+    #[test]
+    fn walk_mode_agrees_with_exhaustion() {
+        let stats = Explorer::new(ParkExit::new(vec![(1, 1), (0, 1)]))
+            .walk(0x9a12_77e1, 500)
+            .unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(stats.schedules, 500);
+        let failure = Explorer::new(ParkExit::with_anonymous_tally(historical_shards()))
+            .walk(0x9a12_77e1, 500)
+            .expect_err("soak mode must also find the historical deadlock");
+        assert!(["all-parked-implies-wake", "no-all-parked-deadlock"]
+            .contains(&failure.violation.invariant));
+    }
+}

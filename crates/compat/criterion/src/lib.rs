@@ -11,7 +11,7 @@
 //! reports.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 use std::time::{Duration, Instant};
 

@@ -13,7 +13,7 @@
 //! deterministic and reproducible.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 use rand::rngs::StdRng;
 

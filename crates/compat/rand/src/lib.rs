@@ -10,7 +10,7 @@
 //! relies on (no code in this workspace depends on rand's exact stream).
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 /// Low-level source of random 64-bit words.
 pub trait RngCore {

@@ -36,7 +36,7 @@
 //! tests and examples is provided in [`sampler`].
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod distance;
 pub mod error;

@@ -16,7 +16,7 @@
 //! See `DESIGN.md` §2 for the substitution rationale.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod datasets;
 pub mod gen;

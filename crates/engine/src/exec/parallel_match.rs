@@ -426,6 +426,31 @@ fn stats_loop(
     Ok(())
 }
 
+/// The park/exit tally decision: is every still-live worker parked?
+///
+/// Extracted as a pure function because this predicate *is* the PR-2
+/// deadlock fix: it must be evaluated against the by-id `idle` /
+/// `exhausted` sets (and re-evaluated whenever the live set shrinks),
+/// not against an anonymous running count. Both call sites —
+/// `wake_if_all_parked` here and the quantum scheduler's analogue in
+/// `service/state.rs` — and `fastmatch-check`'s `park_exit` model (which
+/// keeps the historical anonymous tally as a mutation and shows it
+/// deadlocks) share this definition. Invariant name in DESIGN.md:
+/// `all-parked-implies-wake`.
+pub fn all_live_parked(idle: &[bool], exhausted: &[bool]) -> bool {
+    debug_assert_eq!(idle.len(), exhausted.len());
+    let live = exhausted.iter().filter(|&&e| !e).count();
+    if live == 0 {
+        return false;
+    }
+    let parked = idle
+        .iter()
+        .zip(exhausted)
+        .filter(|&(&i, &e)| i && !e)
+        .count();
+    parked >= live
+}
+
 /// If every still-live worker is parked after an idle pass, republish the
 /// demand snapshot (bumping the epoch wakes them all) and count a stuck
 /// round; after too many consecutive stuck rounds, fail loudly.
@@ -436,9 +461,7 @@ fn wake_if_all_parked(
     exhausted: &[bool],
     stuck_rounds: &mut u32,
 ) -> Result<()> {
-    let live = exhausted.iter().filter(|&&e| !e).count();
-    let parked = idle.iter().filter(|&&i| i).count();
-    if live == 0 || parked < live {
+    if !all_live_parked(idle, exhausted) {
         return Ok(());
     }
     idle.iter_mut().for_each(|f| *f = false);
@@ -459,6 +482,21 @@ mod tests {
     use fastmatch_store::block::BlockLayout;
     use fastmatch_store::schema::{AttrDef, Schema};
     use fastmatch_store::table::Table;
+
+    #[test]
+    fn all_live_parked_tracks_identity_not_counts() {
+        // No workers / all exhausted: nothing to wake.
+        assert!(!all_live_parked(&[], &[]));
+        assert!(!all_live_parked(&[false, false], &[true, true]));
+        // The PR-2 scenario: one worker parked, the other exhausted —
+        // the live set is exactly the parked set, so a wake is due.
+        assert!(all_live_parked(&[true, false], &[false, true]));
+        // A live, running worker means no wake yet.
+        assert!(!all_live_parked(&[true, false], &[false, false]));
+        // A stale idle flag on an exhausted worker must not count
+        // toward the parked tally (identity, not anonymous counts).
+        assert!(!all_live_parked(&[false, true], &[false, true]));
+    }
 
     /// An empty shard (shard count > block count, below the executor's
     /// clamp) must make the worker report exhaustion and return at once —

@@ -31,7 +31,7 @@
 //! attributed I/O — see the [`service`] module docs.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod exec;
 pub mod policy;

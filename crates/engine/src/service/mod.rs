@@ -56,7 +56,7 @@ mod handle;
 mod state;
 
 pub use handle::{GuaranteeState, QueryHandle, QueryOutcome, QueryProgress};
-pub use state::SchedStats;
+pub use state::{admission_has_capacity, all_shards_parked, queue_scan_order, SchedStats};
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -513,7 +513,7 @@ impl<'env> QueryService<'env> {
         }
         let mut active = self.active.load(Ordering::Relaxed);
         loop {
-            if active >= self.config.max_admitted {
+            if !state::admission_has_capacity(active, self.config.max_admitted) {
                 return Err(ServiceError::Saturated {
                     active,
                     limit: self.config.max_admitted,
@@ -627,8 +627,10 @@ fn worker_loop(svc: &QueryService<'_>, worker: usize) {
 
 /// The per-quantum block budget for a shard whose smoothed cost
 /// estimate is `ewma_ns_per_block` (`0.0` = no observation yet), under
-/// the configured policy; see [`QuantumPolicy`].
-fn quantum_budget(config: &ServiceConfig, ewma_ns_per_block: f64) -> usize {
+/// the configured policy; see [`QuantumPolicy`]. Pure — exposed so the
+/// `admission_steal` model in `fastmatch-check` can bound quanta with
+/// the real policy arithmetic rather than a parallel reimplementation.
+pub fn quantum_budget(config: &ServiceConfig, ewma_ns_per_block: f64) -> usize {
     match config.quantum {
         QuantumPolicy::Fixed => config.quantum_blocks,
         QuantumPolicy::Adaptive {

@@ -156,6 +156,54 @@ impl<'a> ShardTask<'a> {
     }
 }
 
+/// The order in which worker `own` of `n` scans the per-worker ready
+/// queues: always its own queue first, then — only when stealing is
+/// enabled or shutdown is draining — every sibling queue round-robin
+/// from its right neighbor.
+///
+/// Extracted as a pure function because this scan order *is* the
+/// scheduler's liveness contract, shared verbatim with
+/// `fastmatch-check`'s `admission_steal` model: during shutdown every
+/// worker must serve every queue (or a task re-enqueued after its home
+/// worker exited is stranded forever — invariant
+/// `shutdown-drains-all-queues`), and with stealing disabled a wakeup
+/// must reach the home worker specifically, which is why
+/// `Scheduler::enqueue` uses `notify_all` (invariant
+/// `no-lost-wakeup`; the model shows the `notify_one` interleaving that
+/// deadlocks, documented in DESIGN.md).
+pub fn queue_scan_order(
+    own: usize,
+    n: usize,
+    stealing: bool,
+    shutdown: bool,
+) -> impl Iterator<Item = usize> {
+    let own = own.min(n.saturating_sub(1));
+    std::iter::once(own).chain(
+        (1..n)
+            .filter(move |_| stealing || shutdown)
+            .map(move |off| (own + off) % n),
+    )
+}
+
+/// Whether a query with `live` still-unretired shards, `parked` of them
+/// currently parked, has its *entire* live set parked — the condition
+/// that must trigger the stuck valve. Shared with the `admission_steal`
+/// and `park_exit` models; the `live == 0` case is "query already
+/// fully retired", where there is nobody left to wake.
+pub fn all_shards_parked(parked: usize, live: usize) -> bool {
+    live > 0 && parked >= live
+}
+
+/// Whether the admission CAS loop may take another slot: `active`
+/// admitted-and-not-terminal queries against the configured bound.
+/// Shared with the `admission_steal` model's invariant
+/// `admission-bounded` — the bound must hold on every interleaving of
+/// concurrent submits, which is why the caller retries on CAS failure
+/// instead of load-then-increment.
+pub fn admission_has_capacity(active: usize, limit: usize) -> bool {
+    active < limit
+}
+
 /// A parked task. The epoch whose fruitless pass parked it is *not*
 /// kept: `wake_query` wakes a query's parked tasks unconditionally on
 /// any epoch bump, and the park-vs-requeue decision is made once, under
@@ -253,22 +301,17 @@ impl<'a> Scheduler<'a> {
         loop {
             let n = s.queues.len();
             let own = worker.min(n - 1);
-            if let Some(task) = s.queues[own].pop_front() {
-                return Some(task);
-            }
             // During shutdown every worker serves every queue even with
             // stealing disabled: a task re-enqueued late could land on
             // a queue whose worker already exited and would otherwise
-            // be stranded unretired.
-            if self.stealing || s.shutdown {
-                for off in 1..n {
-                    let q = (own + off) % n;
-                    if let Some(task) = s.queues[q].pop_front() {
-                        if !s.shutdown {
-                            self.steals.fetch_add(1, Ordering::Relaxed);
-                        }
-                        return Some(task);
+            // be stranded unretired. (The scan order is the extracted
+            // [`queue_scan_order`] the model checks.)
+            for q in queue_scan_order(own, n, self.stealing, s.shutdown) {
+                if let Some(task) = s.queues[q].pop_front() {
+                    if q != own && !s.shutdown {
+                        self.steals.fetch_add(1, Ordering::Relaxed);
                     }
+                    return Some(task);
                 }
             }
             if s.shutdown {
@@ -301,7 +344,7 @@ impl<'a> Scheduler<'a> {
             .iter()
             .filter(|p| p.task.query.id == query.id)
             .count();
-        parked >= query.live_shards_hint.load(Ordering::Relaxed)
+        all_shards_parked(parked, query.live_shards_hint.load(Ordering::Relaxed))
     }
 
     /// Whether every one of the query's `live` still-unretired shards is
@@ -314,11 +357,12 @@ impl<'a> Scheduler<'a> {
             return false;
         }
         let s = self.state.lock().unwrap();
-        s.parked
+        let parked = s
+            .parked
             .iter()
             .filter(|p| p.task.query.id == query_id)
-            .count()
-            >= live
+            .count();
+        all_shards_parked(parked, live)
     }
 
     /// Moves every parked task of `query_id` back to the ready queue

@@ -34,6 +34,58 @@ pub enum DemandMode {
     Stop,
 }
 
+/// One primitive store of a demand publication. [`SharedDemand::publish`]
+/// executes these in exactly the order of [`PUBLISH_ORDER`]; the
+/// `demand_publish` model in `fastmatch-check` enumerates interleavings
+/// of the same actions against parked and polling readers, so the order
+/// here and the order the model checks cannot drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishAction {
+    /// Store every per-candidate `remaining` count (relaxed; the later
+    /// release store orders them for readers).
+    StoreRemaining,
+    /// Store the mode flag (release, so mode-polling readers also see
+    /// the demand published with or before the mode they read).
+    StoreMode,
+    /// Bump the epoch counter once, with release ordering — the *only*
+    /// bump of the publication, and always the final action.
+    BumpEpoch,
+}
+
+/// The load-bearing publication order: `remaining → mode → epoch`, one
+/// epoch bump per publication, last. Checked by `fastmatch-check`'s
+/// `demand_publish` model (invariants `wake-sees-complete-mode`,
+/// `wake-sees-complete-demand`, `mode-implies-demand`,
+/// `one-bump-per-publish`); the historical PR-2 two-bump ordering is
+/// kept there as a mutation and demonstrably violates them.
+pub const PUBLISH_ORDER: [PublishAction; 3] = [
+    PublishAction::StoreRemaining,
+    PublishAction::StoreMode,
+    PublishAction::BumpEpoch,
+];
+
+/// Encodes a [`DemandMode`] into its published `u8` representation.
+/// Extracted (with [`decode_mode`]) so the model and the real snapshot
+/// agree on the wire form by construction.
+pub const fn encode_mode(mode: DemandMode) -> u8 {
+    match mode {
+        DemandMode::ReadAll => 0,
+        DemandMode::AnyActive => 1,
+        DemandMode::Stop => 2,
+    }
+}
+
+/// Decodes a published `u8` back into its [`DemandMode`]. Unknown values
+/// decode to `Stop`: a reader confronted with a representation it does
+/// not understand must wind down, never spin.
+pub const fn decode_mode(v: u8) -> DemandMode {
+    match v {
+        0 => DemandMode::ReadAll,
+        1 => DemandMode::AnyActive,
+        _ => DemandMode::Stop,
+    }
+}
+
 /// Shared demand snapshot: a mode flag plus per-candidate outstanding
 /// sample counts (0 ⇒ inactive).
 #[derive(Debug)]
@@ -59,22 +111,25 @@ impl SharedDemand {
     /// epoch are guaranteed to see the whole snapshot; see the module
     /// docs for why the order is load-bearing.
     pub fn publish(&self, mode: DemandMode, remaining: Option<&[u64]>) {
-        if let Some(rem) = remaining {
-            debug_assert_eq!(rem.len(), self.remaining.len());
-            for (slot, &v) in self.remaining.iter().zip(rem) {
-                slot.store(v, Ordering::Relaxed);
+        for action in PUBLISH_ORDER {
+            match action {
+                PublishAction::StoreRemaining => {
+                    if let Some(rem) = remaining {
+                        debug_assert_eq!(rem.len(), self.remaining.len());
+                        for (slot, &v) in self.remaining.iter().zip(rem) {
+                            slot.store(v, Ordering::Relaxed);
+                        }
+                    }
+                }
+                // Release on the mode store so even readers that poll
+                // `mode()` without touching the epoch observe the demand
+                // published with (or before) the mode they see.
+                PublishAction::StoreMode => self.mode.store(encode_mode(mode), Ordering::Release),
+                PublishAction::BumpEpoch => {
+                    self.epoch.fetch_add(1, Ordering::Release);
+                }
             }
         }
-        let v = match mode {
-            DemandMode::ReadAll => 0,
-            DemandMode::AnyActive => 1,
-            DemandMode::Stop => 2,
-        };
-        // Release on the mode store so even readers that poll `mode()`
-        // without touching the epoch observe the demand published with
-        // (or before) the mode they see.
-        self.mode.store(v, Ordering::Release);
-        self.epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Publishes a mode-only snapshot (`ReadAll` / `Stop`), leaving the
@@ -92,11 +147,7 @@ impl SharedDemand {
 
     /// Reads the current mode.
     pub fn mode(&self) -> DemandMode {
-        match self.mode.load(Ordering::Acquire) {
-            0 => DemandMode::ReadAll,
-            1 => DemandMode::AnyActive,
-            _ => DemandMode::Stop,
-        }
+        decode_mode(self.mode.load(Ordering::Acquire))
     }
 
     /// Whether candidate `c` is currently active (possibly stale).
@@ -136,6 +187,28 @@ impl SharedDemand {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn publish_order_ends_with_a_single_bump() {
+        // The model checks interleavings of this exact order; the real
+        // protocol's side of the contract is that the bump is unique and
+        // final.
+        let bumps = PUBLISH_ORDER
+            .iter()
+            .filter(|a| **a == PublishAction::BumpEpoch)
+            .count();
+        assert_eq!(bumps, 1);
+        assert_eq!(*PUBLISH_ORDER.last().unwrap(), PublishAction::BumpEpoch);
+    }
+
+    #[test]
+    fn mode_codec_roundtrips() {
+        for m in [DemandMode::ReadAll, DemandMode::AnyActive, DemandMode::Stop] {
+            assert_eq!(decode_mode(encode_mode(m)), m);
+        }
+        // Unknown representations decode to Stop, never to a live mode.
+        assert_eq!(decode_mode(7), DemandMode::Stop);
+    }
 
     #[test]
     fn mode_roundtrip() {

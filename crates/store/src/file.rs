@@ -631,8 +631,18 @@ impl PrefetchQueue {
 
     /// Requests shutdown: pending hints are abandoned and all workers
     /// wake to exit (each finishes at most its current hint).
+    ///
+    /// Poison-tolerant: this runs from [`FileBackend`]'s `Drop`, so if
+    /// a readahead worker ever panicked while holding the lock, an
+    /// `unwrap` here would panic *inside drop* — a double panic and
+    /// process abort when the backend is dropped during an unwind. A
+    /// poisoned hint queue is still safe to tear down: the flag and
+    /// queue are plain data.
     fn shutdown(&self) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         s.shutdown = true;
         s.hints.clear();
         drop(s);
@@ -886,6 +896,28 @@ mod tests {
         let z: Vec<u32> = (0..rows as u32).map(|r| r.wrapping_mul(13) % 7).collect();
         let x: Vec<u32> = (0..rows as u32).map(|r| r.wrapping_mul(5) % 3).collect();
         Table::new(schema, vec![z, x])
+    }
+
+    #[test]
+    fn prefetch_queue_shutdown_survives_poison() {
+        // Poison the hint-queue mutex the way a panicking readahead
+        // worker would, then shut down: this path runs from
+        // `FileBackend::drop`, where a second panic aborts the process.
+        let q = Arc::new(PrefetchQueue::new());
+        let q2 = Arc::clone(&q);
+        let worker = std::thread::spawn(move || {
+            let _guard = q2.state.lock().unwrap();
+            panic!("simulated readahead worker panic");
+        });
+        assert!(worker.join().is_err(), "worker must poison the lock");
+        assert!(q.state.is_poisoned());
+        q.shutdown();
+        let s = match q.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        assert!(s.shutdown, "shutdown flag must be set despite poison");
+        assert!(s.hints.is_empty());
     }
 
     #[test]

@@ -37,7 +37,7 @@
 //!   ([`io::ShardedBlockReader`]).
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod backend;
 pub mod binning;

@@ -90,6 +90,30 @@ pub const DEFAULT_SEGMENT_CACHE_BLOCKS: usize = 256;
 /// coalesce (see [`LiveTableConfig::coalesce_segments`]).
 pub const DEFAULT_COALESCE_SEGMENTS: usize = 4;
 
+/// Builds the block-offset table of a snapshot from its per-segment
+/// block counts: one start per segment plus a sentinel equal to the
+/// total sealed block count, strictly increasing. Extracted so the
+/// `live_lifecycle` model in `fastmatch-check` constructs watermarks
+/// with exactly the arithmetic [`LiveTable::snapshot`] uses (invariant
+/// `snapshot-is-prefix`).
+pub fn build_seg_starts(seg_blocks: impl IntoIterator<Item = usize>) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for blocks in seg_blocks {
+        starts.push(starts.last().copied().unwrap_or(0) + blocks);
+    }
+    starts
+}
+
+/// In-memory bytes a snapshot pins beyond sealed files: `mem_rows`
+/// rows of still-in-memory frozen segments it Arc-shares plus
+/// `tail_rows` rows of its owned tail copy, `n_attrs` u32 columns
+/// each. The charge taken at snapshot time must equal the release on
+/// the pin's `Drop` — the `live_lifecycle` model's `pin-balance`
+/// invariant — so both sides call this one function.
+pub fn snapshot_pinned_bytes(mem_rows: usize, tail_rows: usize, n_attrs: usize) -> u64 {
+    ((mem_rows + tail_rows) * n_attrs * std::mem::size_of::<u32>()) as u64
+}
+
 /// Construction parameters of a [`LiveTable`].
 #[derive(Debug, Clone)]
 pub struct LiveTableConfig {
@@ -580,23 +604,19 @@ impl LiveTable {
             .iter()
             .map(|bm| Arc::new(bm.freeze(num_blocks)))
             .collect();
+        let seg_starts = build_seg_starts(s.entries.iter().map(|seg| seg.blocks));
         let mut entries = Vec::with_capacity(s.entries.len());
-        let mut seg_starts = Vec::with_capacity(s.entries.len() + 1);
-        let mut block_off = 0usize;
         let mut mem_rows = 0usize;
         for seg in &s.entries {
-            seg_starts.push(block_off);
-            block_off += seg.blocks;
             if let SegmentEntry::Mem(t) = &seg.repr {
                 mem_rows += t.n_rows();
             }
             entries.push(seg.repr.clone());
         }
-        seg_starts.push(block_off);
         // Bytes this snapshot keeps alive beyond sealed files: frozen
         // in-memory segments (shared until the sealer swaps them — the
         // snapshot's Arc then pins the copy) plus its owned tail copy.
-        let pinned_bytes = ((mem_rows + s.mem.rows()) * inner.schema.len() * 4) as u64;
+        let pinned_bytes = snapshot_pinned_bytes(mem_rows, s.mem.rows(), inner.schema.len());
         let snap = Snapshot {
             schema: inner.schema.clone(),
             tuples_per_block: inner.tuples_per_block,
@@ -767,6 +787,24 @@ mod tests {
     /// are detectable.
     fn row_of(k: u64) -> [u32; 2] {
         [(k % 6) as u32, ((k * 7) % 4) as u32]
+    }
+
+    #[test]
+    fn seg_starts_and_pin_arithmetic() {
+        assert_eq!(build_seg_starts([]), vec![0]);
+        assert_eq!(build_seg_starts([2, 2, 5]), vec![0, 2, 4, 9]);
+        for (starts, b, want) in [
+            (vec![0usize, 2, 4, 9], 0usize, 0usize),
+            (vec![0, 2, 4, 9], 1, 0),
+            (vec![0, 2, 4, 9], 2, 1),
+            (vec![0, 2, 4, 9], 8, 2),
+        ] {
+            assert_eq!(snapshot::locate_segment(&starts, b), want);
+        }
+        // 10 rows × 2 attrs × 4 bytes, split any way between frozen
+        // memory and tail.
+        assert_eq!(snapshot_pinned_bytes(8, 2, 2), 80);
+        assert_eq!(snapshot_pinned_bytes(0, 10, 2), 80);
     }
 
     #[test]

@@ -61,6 +61,19 @@ impl Drop for SnapshotPin {
     }
 }
 
+/// Maps a global sealed block id to the index of the segment that owns
+/// it. `seg_starts` is a snapshot's block-offset table — one start per
+/// segment plus a total-blocks sentinel, strictly increasing (see
+/// [`crate::live::build_seg_starts`]) — and `b` must be below the
+/// sentinel. Extracted so `Snapshot::locate` and the
+/// `live_lifecycle` model in `fastmatch-check` resolve blocks with the
+/// same arithmetic (invariant `snapshot-is-prefix`).
+pub fn locate_segment(seg_starts: &[usize], b: usize) -> usize {
+    debug_assert!(seg_starts.len() >= 2, "seg_starts carries a sentinel");
+    debug_assert!(b < *seg_starts.last().unwrap_or(&0), "block is sealed");
+    seg_starts.partition_point(|&s| s <= b) - 1
+}
+
 /// A consistent, immutable view of a live table at one instant; see the
 /// [module docs](self). Cheap to clone relative to the data: segments
 /// are shared by `Arc`, only the tail columns and bitmaps are owned.
@@ -164,7 +177,7 @@ impl Snapshot {
     /// Maps a global block id to its location.
     fn locate(&self, b: usize) -> BlockHome<'_> {
         if b < self.sealed_blocks() {
-            let seg = self.seg_starts.partition_point(|&s| s <= b) - 1;
+            let seg = locate_segment(&self.seg_starts, b);
             BlockHome::Segment {
                 entry: &self.entries[seg],
                 local: b - self.seg_starts[seg],

@@ -50,6 +50,8 @@
 //! See `examples/` for realistic end-to-end scenarios over the storage
 //! engine, and `DESIGN.md` / `EXPERIMENTS.md` for the reproduction notes.
 
+#![forbid(unsafe_code)]
+
 pub use fastmatch_core as core;
 pub use fastmatch_data as data;
 pub use fastmatch_engine as engine;
