@@ -25,15 +25,27 @@
 //!    bucket (`FASTMATCH_LIVE_BUDGET` rows/s) — the isolation story:
 //!    bounding the appender's budget returns the CPU to readers.
 //!
+//! 3. **Storage lifecycle**: crash-recovery time and segment-file
+//!    count as the table grows — each curve point seals a durable
+//!    table (one file per delta, the worst case), reopens it cold
+//!    (`LiveTable::open`: directory scan, checksum verification, WAL
+//!    replay) and records the recovery wall; then compacts to the
+//!    configured fan-in and reopens again. The matched set of a
+//!    FastMatch query is asserted identical before and after the
+//!    recovery + compaction round trip, and the post-compaction file
+//!    count is asserted `≤ fan_in`.
+//!
 //! Emits a machine-readable summary to `BENCH_live.json` (current
 //! working directory) so CI can archive the perf trajectory. The
 //! headline `under_ingest_p50_ms` is the budgeted-writer regime;
-//! the unthrottled collapse is kept alongside for the delta.
+//! the unthrottled collapse is kept alongside for the delta. The
+//! lifecycle curve lands under `"lifecycle"`.
 //!
 //! Scale knobs: `FASTMATCH_LIVE_ROWS` (default 400,000 append rows),
 //! `FASTMATCH_BENCH_ROWS` (default 150,000 query-phase rows),
 //! `FASTMATCH_LIVE_BATCH` (default 1,024 rows/append batch),
 //! `FASTMATCH_LIVE_BUDGET` (default 5,000,000 rows/s appender budget),
+//! `FASTMATCH_LIVE_FANIN` (default 4 compaction fan-in),
 //! `FASTMATCH_SEED` (default 42).
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -281,11 +293,115 @@ fn query_under_ingest(
     })
 }
 
+// ------------------------------------------------------ storage lifecycle
+
+struct LifecyclePoint {
+    rows: usize,
+    /// Segment files sealed before any compaction (coalescing off — the
+    /// one-file-per-delta worst case).
+    files: usize,
+    /// Cold `LiveTable::open` over that directory: scan + verify +
+    /// WAL replay, from [`LiveStats::recovery_ns`].
+    recovery_ms: f64,
+    /// Rows the WAL replay restored during that open.
+    replayed_rows: u64,
+    /// Files after driving compaction to convergence.
+    files_compacted: usize,
+    /// Cold open over the compacted directory.
+    recovery_compacted_ms: f64,
+}
+
+/// The matched set of one seeded FastMatch run over a fresh snapshot —
+/// the lifecycle phase's stability probe.
+fn matched_set(live: &LiveTable, cfg: &HistSimConfig, seed: u64) -> Vec<u32> {
+    let snap = live.snapshot();
+    let job = QueryJob::from_snapshot(&snap, 0, 1, uniform(8), cfg.clone());
+    let mut ids = FastMatchExec::with_lookahead(64)
+        .run(&job, seed)
+        .expect("lifecycle query failed")
+        .candidate_ids();
+    ids.sort_unstable();
+    ids
+}
+
+/// One curve point: seal `rows` durably, recover cold, compact,
+/// recover cold again — asserting the matched set never moves and the
+/// compacted file count lands within the fan-in.
+fn lifecycle_point(
+    table: &Table,
+    rows: usize,
+    fan_in: usize,
+    cfg: &HistSimConfig,
+    seed: u64,
+) -> LifecyclePoint {
+    let dir = TempBlockDir::new("live_lifecycle");
+    let base_cfg = LiveTableConfig::default()
+        .with_tuples_per_block(64)
+        .with_blocks_per_segment(16)
+        .with_coalesce_segments(1)
+        .with_background_sealer(false)
+        .with_segment_dir(dir.path());
+    let prefix: Vec<Vec<u32>> = (0..table.schema().len())
+        .map(|a| table.column(a)[..rows].to_vec())
+        .collect();
+    let live = LiveTable::new(table.schema().clone(), base_cfg.clone()).unwrap();
+    for cols in AppendBatches::new(Table::new(table.schema().clone(), prefix), 8_192) {
+        live.append_batch(&cols).unwrap();
+    }
+    let before = matched_set(&live, cfg, seed);
+    let files = live.num_segment_files();
+    drop(live);
+
+    // Cold recovery of the uncompacted directory.
+    let live = LiveTable::open(table.schema().clone(), base_cfg.clone()).unwrap();
+    let stats = live.stats();
+    assert_eq!(live.n_rows() as usize, rows, "recovery lost rows");
+    assert_eq!(stats.recovered_torn_segments, 0, "{stats:?}");
+    let recovery_ms = stats.recovery_ns as f64 / 1e6;
+    let replayed_rows = stats.recovered_rows;
+    drop(live);
+
+    // Compact to the fan-in; the matched set must not move.
+    let compact_cfg = base_cfg.with_compaction(fan_in);
+    let live = LiveTable::open(table.schema().clone(), compact_cfg.clone()).unwrap();
+    live.compact_now();
+    let files_compacted = live.num_segment_files();
+    assert!(
+        files_compacted <= fan_in,
+        "{files_compacted} files exceed fan-in {fan_in}"
+    );
+    assert_eq!(
+        matched_set(&live, cfg, seed),
+        before,
+        "matched set changed across recovery + compaction"
+    );
+    drop(live);
+
+    // Cold recovery of the compacted directory.
+    let live = LiveTable::open(table.schema().clone(), compact_cfg).unwrap();
+    assert_eq!(
+        live.n_rows() as usize,
+        rows,
+        "post-compaction recovery lost rows"
+    );
+    let recovery_compacted_ms = live.stats().recovery_ns as f64 / 1e6;
+
+    LifecyclePoint {
+        rows,
+        files,
+        recovery_ms,
+        replayed_rows,
+        files_compacted,
+        recovery_compacted_ms,
+    }
+}
+
 fn main() {
     let append_rows = env_usize("FASTMATCH_LIVE_ROWS", 400_000).max(10_000);
     let query_rows = env_usize("FASTMATCH_BENCH_ROWS", 150_000).max(50_000);
     let batch = env_usize("FASTMATCH_LIVE_BATCH", 1_024).max(1);
     let budget = env_usize("FASTMATCH_LIVE_BUDGET", 5_000_000).max(1) as u64;
+    let fan_in = env_usize("FASTMATCH_LIVE_FANIN", 4).max(2);
     let seed = env_usize("FASTMATCH_SEED", 42) as u64;
     let queries = 6usize;
 
@@ -415,6 +531,57 @@ fn main() {
     );
     println!("# matched sets asserted identical to the plants at every watermark\n");
 
+    // ---- storage lifecycle: recovery time and segment-count curves --
+    let curve: Vec<LifecyclePoint> = [query_rows / 4, query_rows / 2, query_rows]
+        .iter()
+        .map(|&rows| lifecycle_point(&query_table, rows, fan_in, &qcfg, seed))
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "lifecycle",
+                "rows",
+                "segment files",
+                "recovery ms",
+                "WAL rows replayed",
+                &format!("files @ fan-in {fan_in}"),
+                "recovery ms (compacted)"
+            ],
+            &curve
+                .iter()
+                .map(|p| vec![
+                    "seal → recover → compact → recover".to_string(),
+                    p.rows.to_string(),
+                    p.files.to_string(),
+                    format!("{:.2}", p.recovery_ms),
+                    p.replayed_rows.to_string(),
+                    p.files_compacted.to_string(),
+                    format!("{:.2}", p.recovery_compacted_ms),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+    println!("# matched sets asserted stable across every recovery + compaction round trip\n");
+
+    let curve_json = curve
+        .iter()
+        .map(|p| {
+            format!(
+                "      {{\"rows\": {}, \"segment_files\": {}, \"recovery_ms\": {:.3}, \
+                 \"wal_replayed_rows\": {}, \"files_after_compaction\": {}, \
+                 \"recovery_after_compaction_ms\": {:.3}}}",
+                p.rows,
+                p.files,
+                p.recovery_ms,
+                p.replayed_rows,
+                p.files_compacted,
+                p.recovery_compacted_ms,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     // Machine-readable summary for CI's perf trajectory. The headline
     // `under_ingest_p50_ms` is the budgeted regime — the configuration
     // the scheduler work targets — with the unthrottled collapse kept
@@ -446,6 +613,11 @@ fn main() {
             "    \"quiescent_rows\": {},\n",
             "    \"final_watermark\": {},\n",
             "    \"matched_sets_stable\": true\n",
+            "  }},\n",
+            "  \"lifecycle\": {{\n",
+            "    \"compact_fan_in\": {},\n",
+            "    \"curve\": [\n{}\n    ],\n",
+            "    \"matched_sets_stable\": true\n",
             "  }}\n",
             "}}\n"
         ),
@@ -467,6 +639,8 @@ fn main() {
         budgeted.stats.coalesced_deltas,
         quiet.watermark_last,
         budgeted.phase.watermark_last,
+        fan_in,
+        curve_json,
     );
     std::fs::write("BENCH_live.json", &json).expect("writing BENCH_live.json failed");
     println!("# wrote BENCH_live.json");

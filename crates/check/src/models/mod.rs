@@ -1,4 +1,4 @@
-//! The four protocol models, each mirroring one concurrency core of
+//! The five protocol models, each mirroring one concurrency core of
 //! the real system path for path:
 //!
 //! * [`demand_publish`] — the lock-free demand snapshot's
@@ -12,6 +12,8 @@
 //! * [`live_lifecycle`] — the live table's append → freeze →
 //!   install-before-seal → snapshot lifecycle
 //!   ([`fastmatch_store::live`]).
+//! * [`wal_recovery`] — the WAL → seal → crash → recovery side of the
+//!   same lifecycle ([`fastmatch_store::live::wal`]).
 //!
 //! Every model imports the extracted pure step functions the real code
 //! executes, so protocol drift between implementation and model shows
@@ -24,8 +26,10 @@ pub mod admission_steal;
 pub mod demand_publish;
 pub mod live_lifecycle;
 pub mod park_exit;
+pub mod wal_recovery;
 
 pub use admission_steal::AdmissionSteal;
 pub use demand_publish::DemandPublish;
 pub use live_lifecycle::LiveLifecycle;
 pub use park_exit::ParkExit;
+pub use wal_recovery::WalRecovery;

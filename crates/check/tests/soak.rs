@@ -1,4 +1,4 @@
-//! Randomized-schedule soaks over the four protocol models.
+//! Randomized-schedule soaks over the five protocol models.
 //!
 //! Two tiers:
 //!
@@ -15,7 +15,9 @@
 //! workers, more rounds, more tasks — trading completeness for reach.
 
 use fastmatch_check::explorer::{Explorer, Model};
-use fastmatch_check::models::{AdmissionSteal, DemandPublish, LiveLifecycle, ParkExit};
+use fastmatch_check::models::{
+    AdmissionSteal, DemandPublish, LiveLifecycle, ParkExit, WalRecovery,
+};
 
 /// Fixed seed for the CI slices; the long soaks perturb it per chunk.
 const SEED: u64 = 0xfa57_4a7c_0dec_0de5;
@@ -68,6 +70,10 @@ fn live_lifecycle() -> LiveLifecycle {
     LiveLifecycle::new(8, 2, 3, 2)
 }
 
+fn wal_recovery() -> WalRecovery {
+    WalRecovery::new(9, 2)
+}
+
 #[test]
 fn demand_publish_soak_slice() {
     soak(demand_publish(), SLICE);
@@ -86,6 +92,11 @@ fn admission_steal_soak_slice() {
 #[test]
 fn live_lifecycle_soak_slice() {
     soak(live_lifecycle(), SLICE);
+}
+
+#[test]
+fn wal_recovery_soak_slice() {
+    soak(wal_recovery(), SLICE);
 }
 
 #[test]
@@ -110,4 +121,10 @@ fn admission_steal_soak_long() {
 #[ignore = "long soak; run with --ignored, scale with FASTMATCH_CHECK_ITERS"]
 fn live_lifecycle_soak_long() {
     soak(live_lifecycle(), long_iters());
+}
+
+#[test]
+#[ignore = "long soak; run with --ignored, scale with FASTMATCH_CHECK_ITERS"]
+fn wal_recovery_soak_long() {
+    soak(wal_recovery(), long_iters());
 }

@@ -212,6 +212,66 @@ fn executors_over_snapshot_equal_frozen_copy_at_same_watermark() {
     }
 }
 
+/// Recovery is invisible to the engine: shut a live table down (sealed
+/// segments + WAL tail on disk, compaction churning underneath), reopen
+/// it, and every executor over the recovered snapshot computes the
+/// same matched set as over the pre-shutdown snapshot — which the
+/// blockwise comparison pins down as bit-identical state, not just
+/// agreeing answers.
+#[test]
+fn executors_over_recovered_snapshot_equal_pre_shutdown_run() {
+    let seed = seed();
+    let table = fixture(120_000, seed ^ 0x31);
+    let dir = TempBlockDir::new("live_exec_recover");
+    let cfg_live = LiveTableConfig::default()
+        .with_tuples_per_block(64)
+        .with_blocks_per_segment(16)
+        .with_coalesce_segments(2)
+        .with_compaction(4)
+        .with_segment_dir(dir.path());
+    let live = LiveTable::new(table.schema().clone(), cfg_live.clone()).unwrap();
+    for batch in AppendBatches::new(table.clone(), 4_096) {
+        live.append_batch(&batch).unwrap();
+    }
+    let before_snap = live.snapshot();
+    drop(live); // clean shutdown: the tail rows survive only in the WAL
+
+    let reopened = LiveTable::open(table.schema().clone(), cfg_live).unwrap();
+    assert_eq!(reopened.n_rows() as usize, table.n_rows());
+    let stats = reopened.stats();
+    assert!(
+        stats.recovered_rows > 0,
+        "the WAL tail must replay: {stats:?}"
+    );
+    let snap = reopened.snapshot();
+    let (before, after) = (before_snap.to_table().unwrap(), snap.to_table().unwrap());
+    assert_eq!(before.n_rows(), after.n_rows());
+    for attr in 0..table.schema().len() {
+        assert_eq!(before.column(attr), after.column(attr), "attr {attr}");
+    }
+    let cfg = config();
+    for e in executors() {
+        let before_job = QueryJob::from_snapshot(&before_snap, 0, 1, uniform(GROUPS), cfg.clone());
+        let after_job = QueryJob::from_snapshot(&snap, 0, 1, uniform(GROUPS), cfg.clone());
+        let mut want = e
+            .run(&before_job, seed)
+            .unwrap_or_else(|err| panic!("{} before shutdown: {err}", e.name()))
+            .candidate_ids();
+        let mut got = e
+            .run(&after_job, seed)
+            .unwrap_or_else(|err| panic!("{} after recovery: {err}", e.name()))
+            .candidate_ids();
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            want,
+            "{}: matched set diverged after recovery",
+            e.name()
+        );
+    }
+}
+
 /// A snapshot's results are frozen: appending afterwards must not
 /// change what any executor computes over the old snapshot.
 #[test]

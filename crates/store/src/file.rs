@@ -94,8 +94,10 @@ const PREFETCH_QUEUE_HINTS: usize = 64;
 
 /// FNV-1a (64-bit) over `bytes`, starting from a caller-chosen basis so
 /// page checksums are position-keyed: a page copied verbatim to another
-/// slot still fails verification.
-fn fnv1a64(basis: u64, bytes: &[u8]) -> u64 {
+/// slot still fails verification. Shared with the live table's WAL
+/// (`crate::live::wal`), which keys record checksums by sequence number
+/// under the same discipline.
+pub(crate) fn fnv1a64(basis: u64, bytes: &[u8]) -> u64 {
     let mut h = basis;
     for &b in bytes {
         h ^= b as u64;
@@ -105,7 +107,7 @@ fn fnv1a64(basis: u64, bytes: &[u8]) -> u64 {
 }
 
 /// The standard FNV-1a offset basis.
-const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// Position key mixed into a page's checksum basis.
 fn page_basis(attr: usize, block: usize) -> u64 {
@@ -124,6 +126,71 @@ fn page_basis(attr: usize, block: usize) -> u64 {
 /// # Panics
 /// Panics if `tuples_per_block` is zero (as [`BlockLayout::new`] does).
 pub fn write_table(path: &Path, table: &Table, tuples_per_block: usize) -> Result<u64> {
+    write_table_impl(path, table, tuples_per_block, false)
+}
+
+/// Crash-safe variant of [`write_table`]: the table is written to a
+/// sibling temp file (`<name>.tmp`), fsynced, atomically renamed to
+/// `path`, and the parent directory is fsynced so the rename itself is
+/// durable. A reader of `path` therefore observes either the previous
+/// file (or nothing) or the complete new one — never a torn write. Any
+/// failure removes the temp file and leaves `path` untouched.
+///
+/// This is the path the live table's sealer and compactor persist
+/// through; [`write_table`] remains for offline pipelines where the
+/// caller owns durability.
+///
+/// # Panics
+/// Panics if `tuples_per_block` is zero (as [`BlockLayout::new`] does).
+pub fn write_table_atomic(path: &Path, table: &Table, tuples_per_block: usize) -> Result<u64> {
+    let tmp = tmp_sibling(path);
+    let written = match write_table_impl(&tmp, table, tuples_per_block, true) {
+        Ok(w) => w,
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+    };
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    if let Some(dir) = path.parent() {
+        fsync_dir(dir)?;
+    }
+    Ok(written)
+}
+
+/// The sibling temp-file name atomic writers stage through: the final
+/// name with `.tmp` appended (same directory, so the rename cannot
+/// cross filesystems). Recovery scans ignore and clean up `*.tmp`.
+pub(crate) fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    std::path::PathBuf::from(os)
+}
+
+/// Fsyncs a directory so a just-performed rename/unlink in it is
+/// durable. On non-Unix platforms directories cannot be opened for
+/// syncing; the rename's own atomicity is the best guarantee there.
+pub(crate) fn fsync_dir(dir: &Path) -> Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+fn write_table_impl(
+    path: &Path,
+    table: &Table,
+    tuples_per_block: usize,
+    sync: bool,
+) -> Result<u64> {
     let layout = BlockLayout::new(table.n_rows(), tuples_per_block);
     let mut header = Vec::new();
     header.extend_from_slice(MAGIC);
@@ -157,6 +224,9 @@ pub fn write_table(path: &Path, table: &Table, tuples_per_block: usize) -> Resul
         }
     }
     out.flush()?;
+    if sync {
+        out.get_ref().sync_all()?;
+    }
     Ok(written)
 }
 
@@ -1183,6 +1253,72 @@ mod tests {
         let err = be.read_block_into(nb - 1, 1, &mut buf).unwrap_err();
         assert!(matches!(err, StoreError::Corrupt { attr: 1, .. }), "{err}");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_roundtrips_and_leaves_no_temp() {
+        let t = table(96);
+        let path = tmp_path("atomic");
+        let written = write_table_atomic(&path, &t, 8).unwrap();
+        assert!(written > 0);
+        assert!(
+            !tmp_sibling(&path).exists(),
+            "temp file must be renamed away"
+        );
+        let be = FileBackend::open(&path).unwrap();
+        let mut buf = Vec::new();
+        for b in 0..be.layout().num_blocks() {
+            be.read_block_into(b, 0, &mut buf).unwrap();
+            assert_eq!(buf.as_slice(), &t.column(0)[be.layout().rows_of_block(b)]);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn partial_write_is_never_observed_at_the_final_name() {
+        // Simulate the crash the atomic path exists for: a writer dies
+        // mid-stream. With staging, the partial bytes sit at the temp
+        // name — the final name stays absent, so no reader ever opens a
+        // torn file there.
+        let t = table(64);
+        let path = tmp_path("atomic_partial");
+        let full = {
+            // A complete image, to truncate into a "partial write".
+            let scratch = tmp_path("atomic_partial_src");
+            write_table(&scratch, &t, 8).unwrap();
+            let bytes = std::fs::read(&scratch).unwrap();
+            std::fs::remove_file(&scratch).unwrap();
+            bytes
+        };
+        std::fs::write(tmp_sibling(&path), &full[..full.len() / 2]).unwrap();
+        assert!(!path.exists(), "torn write stays at the temp name");
+        // A retry overwrites the stale temp file and publishes whole.
+        write_table_atomic(&path, &t, 8).unwrap();
+        assert!(!tmp_sibling(&path).exists());
+        assert!(FileBackend::open(&path).is_ok());
+        // Contrast: a pre-existing torn file AT the final name (the old
+        // non-atomic hazard) is replaced atomically, never read back.
+        std::fs::write(&path, &full[..full.len() / 3]).unwrap();
+        assert!(
+            FileBackend::open(&path).is_err(),
+            "torn file must not validate"
+        );
+        write_table_atomic(&path, &t, 8).unwrap();
+        let be = FileBackend::open(&path).unwrap();
+        assert_eq!(be.n_rows(), 64);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_failure_leaves_nothing_behind() {
+        let t = table(32);
+        let missing = std::env::temp_dir()
+            .join(format!("fastmatch_no_such_dir_{}", std::process::id()))
+            .join("seg.fmb");
+        let err = write_table_atomic(&missing, &t, 8);
+        assert!(err.is_err());
+        assert!(!missing.exists());
+        assert!(!tmp_sibling(&missing).exists());
     }
 
     #[test]

@@ -60,9 +60,9 @@ pub use bitmap::BitmapIndex;
 pub use block::BlockLayout;
 pub use density::DensityMap;
 pub use error::StoreError;
-pub use file::{write_table, CacheStats, FileBackend};
+pub use file::{write_table, write_table_atomic, CacheStats, FileBackend};
 pub use io::{BlockReader, IoStats, ShardedBlockReader};
-pub use live::{LiveStats, LiveTable, LiveTableConfig, Snapshot};
+pub use live::{LiveStats, LiveTable, LiveTableConfig, Snapshot, ZoneMap};
 pub use predicate::Predicate;
 pub use schema::{AttrDef, Schema};
 pub use table::Table;

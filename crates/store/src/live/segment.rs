@@ -24,7 +24,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crate::error::Result;
-use crate::file::{write_table, FileBackend};
+use crate::file::{write_table_atomic, FileBackend};
 use crate::table::Table;
 
 /// One sealed (immutable) segment, in whichever representation it
@@ -78,29 +78,31 @@ impl SegmentWriter {
         }
     }
 
+    /// The directory segment files live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
     /// The file path of segment `index`.
     pub fn path_of(&self, index: usize) -> PathBuf {
         self.dir.join(format!("segment-{index:06}.fmb"))
     }
 
-    /// Persists one frozen delta as segment `index` and re-opens it as a
-    /// backend: write → fsync-free close → open-with-validation, the
-    /// exact round trip the block-file tests cover. Any failure leaves
-    /// the in-memory entry in place (the caller keeps serving from it).
+    /// Persists one frozen delta as segment `index` and re-opens it as
+    /// a backend. The write is crash-safe
+    /// ([`crate::file::write_table_atomic`]: temp file, fsync, rename,
+    /// directory fsync), so the segment name only ever holds a
+    /// complete, durable file — a crash mid-seal leaves at worst a
+    /// `.tmp` that recovery sweeps away. Failure never removes what is
+    /// at the final name: before the rename that is the *previous*
+    /// occupant (compaction seals over a live member's name), and
+    /// after it a complete file that merely failed to re-open — either
+    /// way recovery knows better than a blind unlink here.
     pub fn seal(&self, index: usize, table: &Table) -> Result<Arc<FileBackend>> {
         let path = self.path_of(index);
-        let sealed =
-            write_table(&path, table, self.tuples_per_block).and_then(|_| self.open(&path));
-        match sealed {
-            Ok(be) => Ok(Arc::new(be)),
-            Err(e) => {
-                // A half-written or unreadable file must not linger
-                // (whether the write itself or the re-open failed): the
-                // next process to scan the directory would trip over it.
-                let _ = std::fs::remove_file(&path);
-                Err(e)
-            }
-        }
+        write_table_atomic(&path, table, self.tuples_per_block)
+            .and_then(|_| self.open(&path))
+            .map(Arc::new)
     }
 
     fn open(&self, path: &Path) -> Result<FileBackend> {
@@ -142,7 +144,7 @@ mod tests {
     }
 
     #[test]
-    fn seal_failure_removes_the_partial_file() {
+    fn seal_failure_leaves_no_file_at_the_final_name() {
         // Point the writer at a path that cannot be created.
         let dir = TempBlockDir::new("seg_fail");
         let missing = dir.path().join("nonexistent-subdir");

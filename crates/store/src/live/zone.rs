@@ -1,0 +1,230 @@
+//! Per-block min/max/count zone maps for live-table attributes.
+//!
+//! The presence bitmaps ([`crate::bitmap::BitmapIndex`]) answer "does
+//! block `b` contain value `v`" exactly — but only for attributes that
+//! have one, and only for equality against a single code. A zone map is
+//! the cheap order-based complement (Provenance-based Data Skipping,
+//! arXiv:2104.12815): each block keeps the minimum and maximum code it
+//! contains plus its row count, so a predicate can skip a block when
+//! its value range provably excludes a match. For *binned* attributes
+//! ([`crate::binning::Binner`] — dictionary codes in bin order) the
+//! min/max bound is the binned analogue of a numeric range filter;
+//! range predicates over codes skip through zones where per-value
+//! bitmaps would need a union over every code in the range.
+//!
+//! Like the live bitmaps, zones are maintained **at append time** in
+//! the same critical section that copies rows into the memtable (one
+//! `min`/`max` update per code — no data scan at snapshot time), frozen
+//! per snapshot ([`ZoneMap`]) covering sealed blocks and tail alike,
+//! and rebuilt by the recovery scan on [`crate::live::LiveTable::open`].
+//! Compaction merges segment *files* without reordering rows, so block
+//! contents — and therefore zones — are compaction-invariant.
+//!
+//! Skipping is *conservative by construction*: a zone test may return
+//! `true` for a block with no matching row (the range bound is coarse)
+//! but never `false` for one that has a match — the same contract as
+//! [`crate::predicate::Predicate::may_match_block`], property-tested in
+//! `store/tests/properties.rs`.
+
+use crate::block::BlockLayout;
+use crate::table::Table;
+
+/// One block's running bounds while the table is live.
+#[derive(Debug, Clone, Copy)]
+struct Zone {
+    min: u32,
+    max: u32,
+    count: u32,
+}
+
+const EMPTY_ZONE: Zone = Zone {
+    min: u32::MAX,
+    max: 0,
+    count: 0,
+};
+
+/// One attribute's incrementally maintained per-block bounds, the
+/// append-side twin of [`ZoneMap`] (as `LiveBitmap` is to
+/// `BitmapIndex`). Updated under the live table's state lock.
+#[derive(Debug)]
+pub(crate) struct LiveZones {
+    zones: Vec<Zone>,
+}
+
+impl LiveZones {
+    /// An empty zone set (no blocks yet).
+    pub fn new() -> Self {
+        LiveZones { zones: Vec::new() }
+    }
+
+    /// Folds one appended code into block `b`'s bounds.
+    #[inline]
+    pub fn note(&mut self, b: usize, v: u32) {
+        if self.zones.len() <= b {
+            self.zones.resize(b + 1, EMPTY_ZONE);
+        }
+        let z = &mut self.zones[b];
+        z.min = z.min.min(v);
+        z.max = z.max.max(v);
+        z.count += 1;
+    }
+
+    /// Freezes the first `num_blocks` blocks into an immutable
+    /// [`ZoneMap`]. All noted rows must lie below `num_blocks` —
+    /// guaranteed when called under the same lock that serializes
+    /// [`Self::note`] with row appends.
+    pub fn freeze(&self, num_blocks: usize) -> ZoneMap {
+        debug_assert!(
+            self.zones.len() <= num_blocks || self.zones[num_blocks..].iter().all(|z| z.count == 0),
+            "zones beyond the frozen view must be empty"
+        );
+        let mut mins = Vec::with_capacity(num_blocks);
+        let mut maxs = Vec::with_capacity(num_blocks);
+        let mut counts = Vec::with_capacity(num_blocks);
+        for b in 0..num_blocks {
+            let z = self.zones.get(b).copied().unwrap_or(EMPTY_ZONE);
+            mins.push(z.min);
+            maxs.push(z.max);
+            counts.push(z.count);
+        }
+        ZoneMap { mins, maxs, counts }
+    }
+}
+
+/// An immutable per-block min/max/count summary of one attribute,
+/// frozen at snapshot (or built by a scan); see the [module
+/// docs](self). Blocks with `count == 0` match nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoneMap {
+    mins: Vec<u32>,
+    maxs: Vec<u32>,
+    counts: Vec<u32>,
+}
+
+impl ZoneMap {
+    /// Builds the reference zone map by scanning one attribute of a
+    /// materialized table — the ground truth the incremental path must
+    /// equal (mirrors [`crate::bitmap::BitmapIndex::build`]).
+    pub fn build(table: &Table, attr: usize, layout: &BlockLayout) -> ZoneMap {
+        let mut zones = LiveZones::new();
+        let col = table.column(attr);
+        for b in 0..layout.num_blocks() {
+            for r in layout.rows_of_block(b) {
+                zones.note(b, col[r]);
+            }
+        }
+        zones.freeze(layout.num_blocks())
+    }
+
+    /// Blocks covered.
+    pub fn num_blocks(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Rows summarized in block `b` (0 past the covered range).
+    pub fn count(&self, b: usize) -> u32 {
+        self.counts.get(b).copied().unwrap_or(0)
+    }
+
+    /// Block `b`'s code bounds, or `None` for an empty or uncovered
+    /// block.
+    pub fn min_max(&self, b: usize) -> Option<(u32, u32)> {
+        (self.count(b) > 0).then(|| (self.mins[b], self.maxs[b]))
+    }
+
+    /// Conservative test: may block `b` contain code `v`? Blocks past
+    /// the covered range answer "maybe" (zones can be consulted with
+    /// slightly stale block ids; a wrong `true` only costs a read);
+    /// covered-but-empty blocks answer "no".
+    pub fn may_contain(&self, b: usize, v: u32) -> bool {
+        if b >= self.num_blocks() {
+            return true;
+        }
+        match self.min_max(b) {
+            Some((lo, hi)) => lo <= v && v <= hi,
+            None => false,
+        }
+    }
+
+    /// Conservative test: may block `b` contain any code in
+    /// `lo..=hi`? The range form is where zones beat per-value
+    /// bitmaps: one comparison regardless of how many codes the range
+    /// spans.
+    pub fn may_overlap(&self, b: usize, lo: u32, hi: u32) -> bool {
+        if b >= self.num_blocks() {
+            return true;
+        }
+        match self.min_max(b) {
+            Some((zmin, zmax)) => zmin <= hi && lo <= zmax,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrDef, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![AttrDef::new("z", 10)]);
+        Table::new(schema, vec![vec![3, 1, 4, 1, 5, 9, 2, 6]])
+    }
+
+    #[test]
+    fn build_matches_incremental_notes() {
+        let t = table();
+        let layout = BlockLayout::new(8, 3);
+        let built = ZoneMap::build(&t, 0, &layout);
+        let mut live = LiveZones::new();
+        for (r, &v) in t.column(0).iter().enumerate() {
+            live.note(r / 3, v);
+        }
+        assert_eq!(live.freeze(layout.num_blocks()), built);
+        assert_eq!(built.num_blocks(), 3);
+        assert_eq!(built.min_max(0), Some((1, 4)));
+        assert_eq!(built.min_max(1), Some((1, 9)));
+        assert_eq!(built.min_max(2), Some((2, 6)));
+        assert_eq!(built.count(2), 2);
+    }
+
+    #[test]
+    fn contain_and_overlap_are_exact_on_bounds() {
+        let t = table();
+        let layout = BlockLayout::new(8, 3);
+        let zm = ZoneMap::build(&t, 0, &layout);
+        assert!(zm.may_contain(0, 1));
+        assert!(zm.may_contain(0, 2), "2 is absent but inside the bound");
+        assert!(!zm.may_contain(0, 0));
+        assert!(!zm.may_contain(0, 5));
+        assert!(zm.may_overlap(2, 0, 2));
+        assert!(zm.may_overlap(2, 6, 9));
+        assert!(!zm.may_overlap(2, 7, 9));
+        assert!(!zm.may_overlap(0, 5, 9));
+    }
+
+    #[test]
+    fn empty_blocks_match_nothing_and_stale_ids_say_maybe() {
+        let mut live = LiveZones::new();
+        live.note(1, 7); // block 0 never noted
+        let zm = live.freeze(2);
+        assert_eq!(zm.min_max(0), None);
+        assert!(!zm.may_contain(0, 0));
+        assert!(!zm.may_overlap(0, 0, u32::MAX));
+        assert!(zm.may_contain(1, 7));
+        // Past the frozen view: conservative "maybe".
+        assert!(zm.may_contain(5, 0));
+        assert!(zm.may_overlap(5, 0, 0));
+    }
+
+    #[test]
+    fn freeze_of_wider_view_pads_empty_blocks() {
+        let mut live = LiveZones::new();
+        live.note(0, 2);
+        let zm = live.freeze(3);
+        assert_eq!(zm.num_blocks(), 3);
+        assert_eq!(zm.min_max(0), Some((2, 2)));
+        assert_eq!(zm.min_max(1), None);
+        assert_eq!(zm.count(2), 0);
+    }
+}

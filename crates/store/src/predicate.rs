@@ -7,6 +7,7 @@
 //! conservatively through bitmap indexes.
 
 use crate::bitmap::BitmapIndex;
+use crate::live::zone::ZoneMap;
 use crate::table::Table;
 
 /// A boolean predicate over a table's attributes.
@@ -54,6 +55,29 @@ impl Predicate {
             Predicate::And(parts) => parts.iter().all(|p| p.may_match_block(indexes, block)),
             Predicate::Or(parts) => {
                 parts.is_empty() || parts.iter().any(|p| p.may_match_block(indexes, block))
+            }
+        }
+    }
+
+    /// Conservative block-level test through zone maps
+    /// ([`crate::live::ZoneMap`]): returns false only when every
+    /// consulted zone's min/max bound provably excludes a match.
+    /// Complementary to [`Self::may_match_block`] — bitmaps answer
+    /// per-value presence exactly where they exist, zones answer range
+    /// exclusion for ordered (binned) dictionaries — and composable
+    /// with it: both tests are conservative, so their conjunction is
+    /// too. `zones` carries `(attr, map)` pairs; attributes without a
+    /// zone map conservatively report "maybe".
+    pub fn may_match_block_zones(&self, zones: &[(usize, &ZoneMap)], block: usize) -> bool {
+        match self {
+            Predicate::Eq { attr, value } => zones
+                .iter()
+                .find(|(a, _)| a == attr)
+                .map(|(_, zm)| zm.may_contain(block, *value))
+                .unwrap_or(true),
+            Predicate::And(parts) => parts.iter().all(|p| p.may_match_block_zones(zones, block)),
+            Predicate::Or(parts) => {
+                parts.is_empty() || parts.iter().any(|p| p.may_match_block_zones(zones, block))
             }
         }
     }
@@ -154,6 +178,35 @@ mod tests {
                 let truth = l.rows_of_block(b).any(|r| p.matches_row(&t, r));
                 if truth {
                     assert!(p.may_match_block(&indexes, b), "{p:?} block {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zone_block_test_is_conservative_and_skips_excluded_ranges() {
+        let t = table();
+        let l = BlockLayout::new(4, 2);
+        let zm_a = ZoneMap::build(&t, 0, &l);
+        let zm_b = ZoneMap::build(&t, 1, &l);
+        let zones = [(0usize, &zm_a), (1usize, &zm_b)];
+        // Block 0 holds a ∈ {0}, block 1 holds a ∈ {1}.
+        assert!(Predicate::eq(0, 0).may_match_block_zones(&zones, 0));
+        assert!(!Predicate::eq(0, 1).may_match_block_zones(&zones, 0));
+        assert!(!Predicate::eq(0, 0).may_match_block_zones(&zones, 1));
+        // No zone map for the attribute → maybe.
+        assert!(Predicate::eq(7, 3).may_match_block_zones(&zones, 0));
+        // Never a false negative, over all connectives.
+        let preds = vec![
+            Predicate::And(vec![Predicate::eq(0, 1), Predicate::eq(1, 0)]),
+            Predicate::Or(vec![Predicate::eq(0, 0), Predicate::eq(1, 1)]),
+            Predicate::eq(1, 1),
+            Predicate::Or(vec![]),
+        ];
+        for p in &preds {
+            for b in 0..l.num_blocks() {
+                if l.rows_of_block(b).any(|r| p.matches_row(&t, r)) {
+                    assert!(p.may_match_block_zones(&zones, b), "{p:?} block {b}");
                 }
             }
         }

@@ -1,5 +1,9 @@
 //! Live-table integration: snapshot isolation under concurrent append
-//! load — the soak test CI runs with fixed seeds.
+//! load — the soak test CI runs with fixed seeds — plus the crash side
+//! of the storage lifecycle: injected torn segments and corrupt WAL
+//! tails must recover every durable row with exact accounting, and
+//! compaction must be invisible to readers (blockwise bit-identical
+//! snapshots) while bounding the segment-file count.
 //!
 //! The unit tests inside `live/` cover the mechanics (segment rolls,
 //! sealing, bitmap freezing). These tests attack the *concurrency
@@ -8,12 +12,15 @@
 //! of the append order — per-appender subsequences intact, bitmaps
 //! exact, sealed and in-memory representations indistinguishable.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use fastmatch_store::backend::StorageBackend;
 use fastmatch_store::bitmap::BitmapIndex;
+use fastmatch_store::live::wal::WAL_FILE;
 use fastmatch_store::live::{LiveTable, LiveTableConfig};
 use fastmatch_store::schema::{AttrDef, Schema};
+use fastmatch_store::table::Table;
 use fastmatch_store::tempfile::TempBlockDir;
 
 /// Appender `w`'s `i`-th row: `z` carries the appender id, `x` the
@@ -29,9 +36,10 @@ fn soak_schema() -> Schema {
     Schema::new(vec![AttrDef::new("who", 8), AttrDef::new("seq", 16)])
 }
 
-/// Runs the soak under one configuration and returns the total rows the
-/// final snapshot saw.
-fn run_soak(cfg: LiveTableConfig, appenders: u32, rows_each: u64, batch: usize) -> usize {
+/// Runs the soak under one configuration and returns the table for
+/// configuration-specific follow-up assertions (the soak itself checks
+/// that the final snapshot saw every appended row).
+fn run_soak(cfg: LiveTableConfig, appenders: u32, rows_each: u64, batch: usize) -> LiveTable {
     let live = LiveTable::new(soak_schema(), cfg).unwrap();
     let stop_snapshots = AtomicBool::new(false);
     std::thread::scope(|scope| {
@@ -112,7 +120,7 @@ fn run_soak(cfg: LiveTableConfig, appenders: u32, rows_each: u64, batch: usize) 
     for (w, &count) in counts.iter().enumerate().take(appenders as usize) {
         assert_eq!(count, rows_each, "appender {w} lost rows");
     }
-    t.n_rows()
+    live
 }
 
 #[test]
@@ -130,8 +138,8 @@ fn soak_with_background_sealing() {
         .with_tuples_per_block(32)
         .with_blocks_per_segment(4)
         .with_segment_dir(dir.path());
-    let live_rows = run_soak(cfg, 4, 3_000, 41);
-    assert_eq!(live_rows, 12_000);
+    let live = run_soak(cfg, 4, 3_000, 41);
+    assert_eq!(live.n_rows(), 12_000);
 }
 
 #[test]
@@ -180,6 +188,258 @@ fn sealed_and_memory_views_are_bit_identical() {
             sm.read_block_into(blk, attr, &mut b).unwrap();
             assert_eq!(a, b, "attr {attr} block {blk}");
         }
+    }
+}
+
+/// Compaction racing the soak: appenders, snapshot queriers, the
+/// background sealer *and* the background compactor all run at once.
+/// Every snapshot the queriers take is prefix-checked row by row
+/// through the block-read path (`to_table` goes through
+/// `read_block_into` for file-backed entries), so a compaction swap
+/// that tore, reordered or duplicated rows would fail the soak — this
+/// is the blockwise-equivalence half of the compaction contract. The
+/// second half is the bound: after the dust settles, one explicit
+/// drive caps the file count at the fan-in.
+#[test]
+fn soak_with_compaction_is_invisible_to_readers_and_bounds_files() {
+    let dir = TempBlockDir::new("live_soak_compact");
+    let fan_in = 3;
+    let cfg = LiveTableConfig::default()
+        .with_tuples_per_block(32)
+        .with_blocks_per_segment(4)
+        .with_coalesce_segments(1) // many small files → compaction pressure
+        .with_segment_dir(dir.path())
+        .with_compaction(fan_in);
+    let live = run_soak(cfg.clone(), 3, 2_000, 43);
+    // The sealer runs behind the appenders; let it drain so compaction
+    // has the full file set to work with.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while live.stats().persisted_segments < live.stats().frozen_segments {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sealer never drained: {:?}",
+            live.stats()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    live.compact_now();
+    let stats = live.stats();
+    assert!(stats.compactions > 0, "compactor never ran: {stats:?}");
+    assert_eq!(stats.compact_errors, 0, "{stats:?}");
+    assert_eq!(stats.seal_errors, 0, "{stats:?}");
+    assert!(
+        live.num_segment_files() <= fan_in,
+        "{} files exceed fan-in {fan_in}",
+        live.num_segment_files()
+    );
+    // Compaction + clean shutdown + recovery round-trips the exact
+    // table: the reopened state is bit-identical, rows in append order.
+    let reference = live.snapshot().to_table().unwrap();
+    drop(live);
+    let reopened = LiveTable::open(soak_schema(), cfg).unwrap();
+    let recovered = reopened.snapshot().to_table().unwrap();
+    assert_eq!(recovered.n_rows(), reference.n_rows());
+    for attr in 0..2 {
+        assert_eq!(
+            recovered.column(attr),
+            reference.column(attr),
+            "attr {attr}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------- crashes
+
+/// Copies every regular file of `src` into the fresh directory `dst` —
+/// the "frozen at the crash instant" disk image the recovery tests
+/// mutilate, so each injection starts from the same durable state.
+fn clone_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+/// Asserts a recovered table is exactly the first `n_rows` of the
+/// pre-crash reference — same order, every column.
+fn assert_is_prefix(recovered: &Table, reference: &Table) {
+    let n = recovered.n_rows();
+    assert!(n <= reference.n_rows(), "recovered {n} rows > reference");
+    for attr in 0..reference.schema().len() {
+        assert_eq!(
+            recovered.column(attr),
+            &reference.column(attr)[..n],
+            "attr {attr} diverges from the durable prefix"
+        );
+    }
+}
+
+/// Seeds a small fully-durable table (inline sealer, per-record WAL
+/// fsync) on disk, returns its config and the pre-crash reference.
+fn seed_crash_table(dir: &Path, rows: u64) -> (LiveTableConfig, Table) {
+    let cfg = LiveTableConfig::default()
+        .with_tuples_per_block(4)
+        .with_blocks_per_segment(2)
+        .with_coalesce_segments(1)
+        .with_background_sealer(false)
+        .with_wal_sync_every(1)
+        .with_segment_dir(dir);
+    let live = LiveTable::new(soak_schema(), cfg.clone()).unwrap();
+    for i in 0..rows {
+        let w = (i % 8) as u32;
+        live.append_row(&[w, payload(w, i)]).unwrap();
+    }
+    let reference = live.snapshot().to_table().unwrap();
+    drop(live);
+    (cfg, reference)
+}
+
+/// Crash injection, part 1: the *last segment file* is torn mid-page
+/// (rename completed but the sectors behind it were lost — or plain
+/// bit rot). The WAL's lag-one rotation keeps the newest sealed run's
+/// rows in the log, so recovery must still produce **every** appended
+/// row: the torn file is detected by checksum, counted, skipped, and
+/// its rows replayed from the WAL.
+#[test]
+fn recovery_survives_a_torn_last_segment_with_nothing_lost() {
+    let seed = TempBlockDir::new("crash_torn_seed");
+    // 27 rows → segments 0..=2 on disk (24 rows), 3 in the memtable;
+    // WAL base lags one run (16), covering rows 16..27.
+    let (cfg, reference) = seed_crash_table(seed.path(), 27);
+    let crash = TempBlockDir::new("crash_torn_img");
+    clone_dir(seed.path(), crash.path());
+    // Tear the newest segment mid-page.
+    let last = crash.path().join("segment-000002.fmb");
+    let len = std::fs::metadata(&last).unwrap().len();
+    std::fs::File::options()
+        .write(true)
+        .open(&last)
+        .unwrap()
+        .set_len(len / 2)
+        .unwrap();
+
+    let cfg = cfg.with_segment_dir(crash.path());
+    let live = LiveTable::open(soak_schema(), cfg).unwrap();
+    let stats = live.stats();
+    assert_eq!(stats.recovered_torn_segments, 1, "{stats:?}");
+    assert_eq!(stats.wal_errors, 0, "{stats:?}");
+    assert_eq!(stats.recovered_rows, 11, "rows 16..27 replay from the WAL");
+    assert_eq!(live.n_rows(), 27, "the torn segment cost nothing");
+    let recovered = live.snapshot().to_table().unwrap();
+    assert_eq!(recovered.n_rows(), reference.n_rows());
+    assert_is_prefix(&recovered, &reference);
+}
+
+/// Crash injection, part 2: the WAL itself is damaged — truncated
+/// mid-record and, separately, a flipped byte in a record body. Both
+/// must be *detected* (checksum, counted in `wal_errors`), recovery
+/// must keep every sealed row plus the intact WAL prefix, and the
+/// result must be an exact prefix of the pre-crash table. Never a
+/// panic, never a torn or invented row.
+#[test]
+fn recovery_survives_a_corrupt_wal_tail_with_exact_accounting() {
+    let seed = TempBlockDir::new("crash_wal_seed");
+    let (cfg, reference) = seed_crash_table(seed.path(), 27);
+
+    // Truncation: chop 5 bytes off the end — the final one-row record
+    // is torn, everything before it replays.
+    let trunc = TempBlockDir::new("crash_wal_trunc");
+    clone_dir(seed.path(), trunc.path());
+    let wal = trunc.path().join(WAL_FILE);
+    let len = std::fs::metadata(&wal).unwrap().len();
+    std::fs::File::options()
+        .write(true)
+        .open(&wal)
+        .unwrap()
+        .set_len(len - 5)
+        .unwrap();
+    let live = LiveTable::open(soak_schema(), cfg.clone().with_segment_dir(trunc.path())).unwrap();
+    let stats = live.stats();
+    assert!(
+        stats.wal_errors >= 1,
+        "torn tail must be counted: {stats:?}"
+    );
+    assert_eq!(stats.recovered_torn_segments, 0, "{stats:?}");
+    assert_eq!(live.n_rows(), 26, "only the torn final record is lost");
+    assert_is_prefix(&live.snapshot().to_table().unwrap(), &reference);
+    drop(live);
+
+    // Corruption: flip one byte deep in the record region. The damaged
+    // record fails its checksum; replay keeps the prefix before it and
+    // counts the fault. Sealed rows (0..24) are untouched either way.
+    let flip = TempBlockDir::new("crash_wal_flip");
+    clone_dir(seed.path(), flip.path());
+    let wal = flip.path().join(WAL_FILE);
+    let mut bytes = std::fs::read(&wal).unwrap();
+    let at = bytes.len() * 3 / 4;
+    bytes[at] ^= 0x40;
+    std::fs::write(&wal, &bytes).unwrap();
+    let live = LiveTable::open(soak_schema(), cfg.with_segment_dir(flip.path())).unwrap();
+    let stats = live.stats();
+    assert!(
+        stats.wal_errors >= 1,
+        "corruption must be counted: {stats:?}"
+    );
+    let n = live.n_rows();
+    assert!(
+        (24..27).contains(&n),
+        "sealed rows survive, the corrupt tail does not: {n}"
+    );
+    assert_is_prefix(&live.snapshot().to_table().unwrap(), &reference);
+}
+
+/// Crash injection, part 3 — the exhaustive sweep: a WAL-only table
+/// (nothing sealed) truncated at **every possible byte length**. For
+/// each cut the recovered table must be exactly the longest run of
+/// whole records that fits — never a panic, never a row beyond the
+/// durable prefix, never a lost row before it, and a counted fault
+/// whenever the cut lands mid-record.
+#[test]
+fn wal_truncated_at_every_byte_recovers_the_exact_durable_prefix() {
+    let seed = TempBlockDir::new("crash_sweep_seed");
+    let rows = 20u64;
+    let cfg = LiveTableConfig::default()
+        .with_tuples_per_block(8)
+        .with_blocks_per_segment(64) // 512 rows/segment: nothing seals
+        .with_background_sealer(false)
+        .with_wal_sync_every(1)
+        .with_segment_dir(seed.path());
+    let live = LiveTable::new(soak_schema(), cfg.clone()).unwrap();
+    for i in 0..rows {
+        let w = (i % 8) as u32;
+        live.append_row(&[w, payload(w, i)]).unwrap();
+    }
+    let reference = live.snapshot().to_table().unwrap();
+    drop(live);
+    let image = std::fs::read(seed.path().join(WAL_FILE)).unwrap();
+
+    // WAL geometry (checked, so the sweep's expectations stay honest):
+    // 28-byte header, then per append_row one record of
+    // 4 (n_rows) + 2 attrs × 4 (codes) + 8 (checksum) = 20 bytes.
+    const HEADER: usize = 28;
+    const RECORD: usize = 20;
+    assert_eq!(image.len(), HEADER + rows as usize * RECORD);
+
+    let dir = TempBlockDir::new("crash_sweep_img");
+    for cut in 0..=image.len() {
+        let img = dir.path().join(format!("cut-{cut:03}"));
+        std::fs::create_dir_all(&img).unwrap();
+        std::fs::write(img.join(WAL_FILE), &image[..cut]).unwrap();
+        let live = LiveTable::open(soak_schema(), cfg.clone().with_segment_dir(&img)).unwrap();
+        let want = if cut < HEADER {
+            0
+        } else {
+            ((cut - HEADER) / RECORD).min(rows as usize)
+        };
+        assert_eq!(live.n_rows() as usize, want, "cut at byte {cut}");
+        let whole = cut >= HEADER && (cut - HEADER).is_multiple_of(RECORD);
+        assert_eq!(
+            live.stats().wal_errors >= 1,
+            !whole,
+            "cut at byte {cut}: a partial header or record is a counted fault"
+        );
+        assert_is_prefix(&live.snapshot().to_table().unwrap(), &reference);
     }
 }
 

@@ -8,6 +8,7 @@ use fastmatch_store::binning::Binner;
 use fastmatch_store::bitmap::BitmapIndex;
 use fastmatch_store::block::BlockLayout;
 use fastmatch_store::density::{estimate_block_count, DensityMap};
+use fastmatch_store::live::ZoneMap;
 use fastmatch_store::predicate::Predicate;
 use fastmatch_store::schema::{AttrDef, Schema};
 use fastmatch_store::shuffle::shuffle_table;
@@ -186,6 +187,68 @@ proptest! {
                 // trees may still over-approximate (AND of bits set by
                 // different rows), which is allowed — only the false
                 // negative direction is a bug.
+            }
+        }
+    }
+
+    /// Zone maps are sound summaries and conservative filters: every
+    /// block's min/max/count bounds exactly cover its rows, point and
+    /// range probes never reject a block that holds a match, and
+    /// predicate trees tested through zones
+    /// ([`Predicate::may_match_block_zones`]) never produce a false
+    /// negative — the same contract as the bitmap block test, which is
+    /// what lets block-skipping policies consult whichever summary an
+    /// attribute has.
+    #[test]
+    fn zone_maps_are_sound_and_block_conservative(
+        cols in prop::collection::vec(prop::collection::vec(0u32..7, 40..160), 2usize),
+        bs in 1usize..30,
+        tree_seed in 0u64..1_000_000,
+        lo in 0u32..7,
+        span in 0u32..7,
+    ) {
+        let shortest = cols.iter().map(|c| c.len()).min().unwrap();
+        let cols: Vec<Vec<u32>> = cols.iter().map(|c| c[..shortest].to_vec()).collect();
+        let schema = Schema::new(vec![AttrDef::new("a", 7), AttrDef::new("b", 7)]);
+        let table = Table::new(schema, cols);
+        let layout = BlockLayout::new(shortest, bs);
+        let built: Vec<ZoneMap> = (0..2).map(|a| ZoneMap::build(&table, a, &layout)).collect();
+
+        // Soundness: bounds tight enough to cover every row, counts exact.
+        let hi = lo.saturating_add(span).min(6);
+        for (attr, zm) in built.iter().enumerate() {
+            prop_assert_eq!(zm.num_blocks(), layout.num_blocks());
+            for b in 0..layout.num_blocks() {
+                let rows = layout.rows_of_block(b);
+                prop_assert_eq!(zm.count(b) as usize, rows.len());
+                let (zmin, zmax) = zm.min_max(b).expect("no block is empty");
+                let mut any_in_range = false;
+                for r in rows {
+                    let v = table.code(attr, r);
+                    prop_assert!(zmin <= v && v <= zmax, "attr {} block {}", attr, b);
+                    // Point and range probes may not reject present values.
+                    prop_assert!(zm.may_contain(b, v));
+                    any_in_range |= lo <= v && v <= hi;
+                }
+                if any_in_range {
+                    prop_assert!(zm.may_overlap(b, lo, hi), "attr {} block {}", attr, b);
+                }
+            }
+        }
+
+        // Conservativeness for whole predicate trees through the zone path.
+        let zones: Vec<(usize, &ZoneMap)> = built.iter().enumerate().collect();
+        let mut rng = StdRng::seed_from_u64(tree_seed);
+        for _ in 0..8 {
+            let p = arb_predicate_tree(&mut rng, 2, 7, 3);
+            for b in 0..layout.num_blocks() {
+                let truth = layout.rows_of_block(b).any(|r| p.matches_row(&table, r));
+                if truth {
+                    prop_assert!(
+                        p.may_match_block_zones(&zones, b),
+                        "zone false negative: {:?} block {}", p, b
+                    );
+                }
             }
         }
     }
