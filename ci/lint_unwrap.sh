@@ -2,86 +2,26 @@
 # Hygiene gate: no new `unwrap()` / `expect()` in non-test library code
 # under crates/engine/src and crates/store/src.
 #
-# Every existing call site is recorded in ci/unwrap_allowlist.txt
-# (sorted `path:line-text` entries, line numbers stripped so pure code
-# motion does not churn the list). The gate fails when a site appears
-# that is not in the allowlist, or when a file accumulates *more*
-# sites than the allowlist records — shrinking is always allowed.
+# This is now a thin shim over the `unwrap_gate` check of the
+# fastmatch-lint static analyzer (crates/lint), which absorbed the old
+# awk scan with identical semantics: same scope, same one-site-per-line
+# granularity, same everything-below-`#[cfg(test)]` exemption. The 48
+# frozen sites live in ci/lint_allowlist.txt as fingerprint entries
+# (check|path|source-text — still line-number-free, so pure code motion
+# does not churn the list; the multiset count semantics still catch a
+# duplicated already-allowed line).
 #
 #   ci/lint_unwrap.sh            # check (CI mode)
-#   ci/lint_unwrap.sh --refresh  # rewrite the allowlist from the tree
+#   ci/lint_unwrap.sh --refresh  # refreeze ALL lint findings, keeping
+#                                # allowlist justifications
 #
-# Test code is exempt: everything at or below a `#[cfg(test)]` line in
-# a file is ignored (the repo convention keeps unit tests in one
-# trailing `mod tests`), as are `tests/` directories and doc comments.
+# Note --refresh regenerates the whole allowlist (all six checks), not
+# just the unwrap entries: the file is one gate with one workflow.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ALLOWLIST=ci/unwrap_allowlist.txt
-SCOPE=(crates/engine/src crates/store/src)
-
-scan() {
-    # Emit `path|trimmed-source-line` for every unwrap()/expect( call
-    # site in non-test, non-comment code, sorted for stable diffs.
-    find "${SCOPE[@]}" -name '*.rs' -print0 | sort -z | while IFS= read -r -d '' f; do
-        awk -v file="$f" '
-            /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
-            /^[[:space:]]*\/\// { next }
-            /\.unwrap\(\)|\.expect\(/ {
-                line = $0
-                sub(/^[[:space:]]+/, "", line)
-                print file "|" line
-            }
-        ' "$f"
-    done | sort
-}
-
 if [[ "${1:-}" == "--refresh" ]]; then
-    scan > "$ALLOWLIST"
-    echo "refreshed $ALLOWLIST: $(wc -l < "$ALLOWLIST") allowed sites"
-    exit 0
+    exec cargo run -q -p fastmatch-lint -- --refresh
 fi
-
-if [[ ! -f "$ALLOWLIST" ]]; then
-    echo "missing $ALLOWLIST — run ci/lint_unwrap.sh --refresh" >&2
-    exit 1
-fi
-
-current=$(mktemp)
-trap 'rm -f "$current"' EXIT
-scan > "$current"
-
-status=0
-
-# New sites: present now, absent from the allowlist.
-if new_sites=$(comm -13 <(sort "$ALLOWLIST") "$current") && [[ -n "$new_sites" ]]; then
-    echo "new unwrap()/expect() call sites in non-test engine/store code:" >&2
-    echo "$new_sites" | sed 's/^/  /' >&2
-    echo "" >&2
-    echo "Handle the error (these crates return Result end to end) or," >&2
-    echo "if the invariant is real, document it and refresh the" >&2
-    echo "allowlist: ci/lint_unwrap.sh --refresh" >&2
-    status=1
-fi
-
-# Per-file count increases: catches duplicating an already-allowed
-# line (identical text would slip past the set comparison above).
-counts_diff=$(diff \
-    <(cut -d'|' -f1 "$ALLOWLIST" | uniq -c | awk '{print $2, $1}') \
-    <(cut -d'|' -f1 "$current" | uniq -c | awk '{print $2, $1}') \
-    | grep '^>' || true)
-if [[ -n "$counts_diff" ]]; then
-    while read -r _ file count; do
-        allowed=$(grep -cF "${file}|" "$ALLOWLIST" || true)
-        if (( count > allowed )); then
-            echo "$file: $count unwrap/expect sites (allowlist records $allowed)" >&2
-            status=1
-        fi
-    done <<< "$counts_diff"
-fi
-
-if (( status == 0 )); then
-    echo "unwrap gate clean: $(wc -l < "$current") sites, all allowlisted"
-fi
-exit "$status"
+exec cargo run -q -p fastmatch-lint -- --deny --check unwrap_gate

@@ -166,6 +166,9 @@ struct QueryPhase {
     latencies: Vec<Duration>,
     watermark_first: usize,
     watermark_last: usize,
+    /// Peak of the `pinned_snapshot_bytes` gauge observed while a query
+    /// snapshot was live — the memory a reader pins against compaction.
+    peak_pinned_bytes: u64,
 }
 
 fn percentile(sorted: &[Duration], q: f64) -> Duration {
@@ -192,8 +195,12 @@ fn query_phase(live: &LiveTable, cfg: &HistSimConfig, queries: usize, seed: u64)
     let mut latencies = Vec::with_capacity(queries);
     let mut watermark_first = 0usize;
     let mut watermark_last = 0usize;
+    let mut peak_pinned_bytes = 0u64;
     for q in 0..queries + 1 {
         let snap = live.snapshot();
+        // Sample the gauge while `snap` is alive: this is the pinned
+        // high-water mark a real reader imposes on the table.
+        peak_pinned_bytes = peak_pinned_bytes.max(live.stats().pinned_snapshot_bytes);
         if q == 1 {
             watermark_first = snap.n_rows();
         }
@@ -221,6 +228,7 @@ fn query_phase(live: &LiveTable, cfg: &HistSimConfig, queries: usize, seed: u64)
         latencies,
         watermark_first,
         watermark_last,
+        peak_pinned_bytes,
     }
 }
 
@@ -495,6 +503,10 @@ fn main() {
             r.stats.throttled_appends,
             r.stats.throttle_wait_ns as f64 / 1e6,
         );
+        println!(
+            "#   peak pinned snapshot memory while querying: {:.1} KiB",
+            r.phase.peak_pinned_bytes as f64 / 1024.0
+        );
     }
 
     let lat_row = |label: &str, p: &QueryPhase| {
@@ -610,6 +622,8 @@ fn main() {
             "    \"unthrottled_append_rows_per_sec\": {:.0},\n",
             "    \"throttled_appends\": {},\n",
             "    \"coalesced_deltas\": {},\n",
+            "    \"peak_pinned_snapshot_bytes\": {},\n",
+            "    \"quiescent_peak_pinned_snapshot_bytes\": {},\n",
             "    \"quiescent_rows\": {},\n",
             "    \"final_watermark\": {},\n",
             "    \"matched_sets_stable\": true\n",
@@ -637,6 +651,8 @@ fn main() {
         unthrottled.append_rows_per_sec(),
         budgeted.stats.throttled_appends,
         budgeted.stats.coalesced_deltas,
+        budgeted.phase.peak_pinned_bytes,
+        quiet.peak_pinned_bytes,
         quiet.watermark_last,
         budgeted.phase.watermark_last,
         fan_in,

@@ -22,8 +22,11 @@
 //!
 //! Lock order (strict, deadlock-free): a query's engine mutex may be
 //! taken before the scheduler's queue mutex, never after; the handle
-//! mutex ([`super::handle::QueryShared`]) is only taken with neither
-//! held.
+//! mutex ([`super::handle::QueryShared`]) may be taken under the
+//! engine mutex (progress publication from the quantum loop), never
+//! the other way around, and never under the queue mutex.
+//! `fastmatch-lint`'s `lock_order` check extracts this graph from the
+//! source on every CI push (`crates/lint/LOCK_ORDER.dot`).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};

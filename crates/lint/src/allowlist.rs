@@ -1,0 +1,148 @@
+//! The fingerprinted allowlist (`ci/lint_allowlist.txt`).
+//!
+//! A fingerprint is FNV-1a-64 over `check id | path | trimmed source
+//! line` — deliberately line-number-free, so moving code within a file
+//! does not churn the list (the property the old `path|text` unwrap
+//! allowlist already had). Entries are a multiset: two identical
+//! findings on different lines of one file need two entries, which is
+//! what keeps "the same line was added again" from slipping through —
+//! the per-file count guard of the old shell gate, carried over.
+//!
+//! File format, one entry per line, tab-separated:
+//!
+//! ```text
+//! <check>\t<fp16>\t<path>\t<excerpt>\t<justification>
+//! ```
+//!
+//! `#` lines and blank lines are comments. `--refresh` rewrites the
+//! entry lines from the current findings, preserving justifications by
+//! fingerprint; shrinking is always allowed, growth requires a refresh
+//! (i.e. a reviewed commit that touches the allowlist).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use crate::Diagnostic;
+
+pub fn fingerprint(d: &Diagnostic) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in [d.check.id(), &d.file, &d.excerpt] {
+        for b in part.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0x7c; // field separator
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[derive(Default)]
+pub struct Allowlist {
+    /// fingerprint → (allowed count, justification, check id).
+    entries: BTreeMap<u64, (u32, String, String)>,
+}
+
+impl Allowlist {
+    pub fn load(path: &Path) -> Allowlist {
+        let mut entries: BTreeMap<u64, (u32, String, String)> = BTreeMap::new();
+        let Ok(text) = fs::read_to_string(path) else {
+            return Allowlist::default();
+        };
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let cols: Vec<&str> = line.split('\t').collect();
+            if cols.len() < 4 {
+                continue;
+            }
+            if let Ok(fp) = u64::from_str_radix(cols[1], 16) {
+                let just = cols.get(4).copied().unwrap_or("").to_string();
+                let e = entries.entry(fp).or_insert((0, just, cols[0].to_string()));
+                e.0 += 1;
+            }
+        }
+        Allowlist { entries }
+    }
+
+    /// Splits findings into (suppressed, reported) by consuming allowed
+    /// counts per fingerprint, and returns the number of stale entries
+    /// (allowed but no longer found — informational only; shrinking the
+    /// codebase under the gate is always fine). Only entries belonging
+    /// to `selected` checks count as stale, so a narrowed `--check` run
+    /// does not flag the rest of the allowlist.
+    pub fn apply(
+        &self,
+        diags: Vec<Diagnostic>,
+        selected: &[crate::CheckId],
+    ) -> (Vec<Diagnostic>, Vec<Diagnostic>, u32) {
+        let mut budget: BTreeMap<u64, u32> =
+            self.entries.iter().map(|(k, (n, _, _))| (*k, *n)).collect();
+        let mut suppressed = Vec::new();
+        let mut reported = Vec::new();
+        for d in diags {
+            let fp = fingerprint(&d);
+            match budget.get_mut(&fp) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    suppressed.push(d);
+                }
+                _ => reported.push(d),
+            }
+        }
+        let stale: u32 = budget
+            .iter()
+            .filter(|(fp, _)| {
+                self.entries
+                    .get(fp)
+                    .is_some_and(|(_, _, check)| selected.iter().any(|c| c.id() == check))
+            })
+            .map(|(_, n)| n)
+            .sum();
+        (suppressed, reported, stale)
+    }
+
+    pub fn justification(&self, fp: u64) -> &str {
+        self.entries
+            .get(&fp)
+            .map(|(_, j, _)| j.as_str())
+            .unwrap_or("")
+    }
+
+    /// Rewrites the allowlist from the current findings, keeping
+    /// existing justifications keyed by fingerprint.
+    pub fn refresh(&self, path: &Path, diags: &[Diagnostic]) -> std::io::Result<()> {
+        let mut rows: Vec<String> = diags
+            .iter()
+            .map(|d| {
+                let fp = fingerprint(d);
+                format!(
+                    "{}\t{:016x}\t{}\t{}\t{}",
+                    d.check.id(),
+                    fp,
+                    d.file,
+                    d.excerpt,
+                    self.justification(fp)
+                )
+            })
+            .collect();
+        rows.sort();
+        let mut out = String::from(
+            "# fastmatch-lint allowlist. One intentional finding per line:\n\
+             # <check>\\t<fingerprint>\\t<path>\\t<excerpt>\\t<justification>\n\
+             # Fingerprints are line-number-free (check|path|source text), so code\n\
+             # motion does not churn this file. Regenerate with:\n\
+             #   cargo run -p fastmatch-lint -- --refresh\n\
+             # Shrinking is always allowed; growth must come through --refresh in a\n\
+             # reviewed commit, with the justification column filled in.\n",
+        );
+        for r in rows {
+            out.push_str(&r);
+            out.push('\n');
+        }
+        fs::write(path, out)
+    }
+}

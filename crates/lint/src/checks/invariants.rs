@@ -1,0 +1,142 @@
+//! Check 4: invariant cross-reference. The dynamic model checker in
+//! `crates/check` registers invariants by name (`Violation::new("…")`);
+//! DESIGN.md § "Concurrency protocols" documents the same names. The
+//! two drift independently unless a machine compares them, and a
+//! `finds_*` mutation test that exists but is not wired as a CI step
+//! proves nothing — so all three surfaces are cross-checked here.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::Tok;
+use crate::source::Workspace;
+use crate::{CheckId, Diagnostic};
+
+const DESIGN_SECTION: &str = "## Concurrency protocols";
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // Invariant names registered by the models, with one def site each.
+    let mut model_names: Vec<(String, String, u32)> = Vec::new(); // (name, file, line)
+    let mut finds_fns: Vec<(String, String, u32)> = Vec::new();
+    for f in ws.files.iter().filter(|f| f.crate_name == "check") {
+        let in_models = f.rel.contains("/models/");
+        for (i, t) in f.tokens.iter().enumerate() {
+            if in_models && t.is_ident("Violation") {
+                // Violation :: new ( "name"
+                let new_at = f.tokens.get(i + 3);
+                let open = f.tokens.get(i + 4);
+                let arg = f.tokens.get(i + 5);
+                if new_at.is_some_and(|t| t.is_ident("new"))
+                    && open.is_some_and(|t| t.is_punct('('))
+                {
+                    if let Some(Tok::Str(name)) = arg.map(|t| &t.tok) {
+                        model_names.push((name.clone(), f.rel.clone(), t.line));
+                    }
+                }
+            }
+            if t.is_ident("fn") {
+                if let Some(name) = f.tokens.get(i + 1).and_then(|t| t.ident()) {
+                    if name.starts_with("finds_") {
+                        finds_fns.push((name.to_string(), f.rel.clone(), t.line));
+                    }
+                }
+            }
+        }
+    }
+
+    // Names documented in DESIGN.md's protocol section: any
+    // `**kebab-case**` bold span (at least one hyphen, so ordinary
+    // bold prose is not swept in).
+    let design_names: BTreeSet<String> = match &ws.design_md {
+        Some(md) => section_bold_kebab(md),
+        None => BTreeSet::new(),
+    };
+    let model_set: BTreeSet<&str> = model_names.iter().map(|(n, _, _)| n.as_str()).collect();
+
+    for (name, file, line) in &model_names {
+        if !design_names.contains(name) {
+            diags.push(Diagnostic {
+                check: CheckId::Invariants,
+                file: file.clone(),
+                line: *line,
+                excerpt: format!("invariant \"{name}\""),
+                message: format!(
+                    "model invariant `{name}` is not documented under DESIGN.md \
+                     \u{201c}{}\u{201d}",
+                    &DESIGN_SECTION[3..]
+                ),
+            });
+        }
+    }
+    for name in &design_names {
+        if !model_set.contains(name.as_str()) {
+            diags.push(Diagnostic {
+                check: CheckId::Invariants,
+                file: "DESIGN.md".to_string(),
+                line: 0,
+                excerpt: format!("documented invariant \"{name}\""),
+                message: format!(
+                    "DESIGN.md documents invariant `{name}` but no model registers \
+                     it via Violation::new"
+                ),
+            });
+        }
+    }
+
+    // Every finds_* mutation test must appear in the CI workflow.
+    let ci = ws.ci_yml.as_deref().unwrap_or("");
+    for (name, file, line) in &finds_fns {
+        if !ci.contains(name.as_str()) {
+            diags.push(Diagnostic {
+                check: CheckId::Invariants,
+                file: file.clone(),
+                line: *line,
+                excerpt: format!("fn {name}"),
+                message: format!(
+                    "mutation test `{name}` is not wired as a CI step \u{2014} a \
+                     detector that CI never runs proves nothing"
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// Bold kebab-case names in the DESIGN section (between the section
+/// heading and the next `## ` heading).
+fn section_bold_kebab(md: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut in_section = false;
+    for line in md.lines() {
+        if line.starts_with(DESIGN_SECTION) {
+            in_section = true;
+            continue;
+        }
+        if in_section && line.starts_with("## ") {
+            break;
+        }
+        if !in_section {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(a) = rest.find("**") {
+            let tail = &rest[a + 2..];
+            match tail.find("**") {
+                Some(b) => {
+                    let name = &tail[..b];
+                    if name.contains('-')
+                        && name
+                            .chars()
+                            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+                    {
+                        out.insert(name.to_string());
+                    }
+                    rest = &tail[b + 2..];
+                }
+                None => break,
+            }
+        }
+    }
+    out
+}

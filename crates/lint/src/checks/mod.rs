@@ -1,0 +1,4 @@
+pub mod invariants;
+pub mod stats;
+pub mod unwrap;
+pub mod wakeup;

@@ -1,0 +1,142 @@
+//! Check 5: stats attribution. Every public counter on the four
+//! observability structs must be (a) written somewhere in production
+//! code and (b) mentioned in at least one test. A counter failing (a)
+//! is dead telemetry; one failing (b) can silently stop counting — the
+//! exact drift the ROADMAP recorded for `pinned_snapshot_bytes`.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::Tok;
+use crate::source::Workspace;
+use crate::{CheckId, Diagnostic};
+
+const STATS_STRUCTS: &[&str] = &["LiveStats", "CacheStats", "IoStats", "SchedStats"];
+
+struct Field {
+    strukt: String,
+    name: String,
+    file: String,
+    line: u32,
+    excerpt: String,
+}
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    // Collect pub fields of the four structs, remembering each struct's
+    // declaration span so its own field list is not counted as a write.
+    let mut fields: Vec<Field> = Vec::new();
+    let mut decl_spans: Vec<(usize, u32, u32)> = Vec::new(); // (file idx, from, to)
+    for (fi, f) in ws.src_files() {
+        let toks = &f.tokens;
+        let mut i = 0usize;
+        while i < toks.len() {
+            if toks[i].is_ident("struct")
+                && toks
+                    .get(i + 1)
+                    .and_then(|t| t.ident())
+                    .is_some_and(|n| STATS_STRUCTS.contains(&n))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('{'))
+            {
+                let strukt = toks[i + 1].ident().unwrap().to_string();
+                let close = crate::source::matching_brace(toks, i + 2);
+                decl_spans.push((
+                    fi,
+                    toks[i].line,
+                    toks.get(close).map_or(u32::MAX, |t| t.line),
+                ));
+                let mut j = i + 3;
+                while j < close {
+                    if toks[j].is_ident("pub") && toks.get(j + 2).is_some_and(|t| t.is_punct(':')) {
+                        if let Some(name) = toks.get(j + 1).and_then(|t| t.ident()) {
+                            let line = toks[j + 1].line;
+                            fields.push(Field {
+                                strukt: strukt.clone(),
+                                name: name.to_string(),
+                                file: f.rel.clone(),
+                                line,
+                                excerpt: f.excerpt(line).to_string(),
+                            });
+                        }
+                    }
+                    j += 1;
+                }
+                i = close;
+            }
+            i += 1;
+        }
+    }
+
+    // Tally write sites (non-test src) and test mentions per field name.
+    let mut writes: BTreeMap<&str, u32> = BTreeMap::new();
+    let mut mentions: BTreeMap<&str, u32> = BTreeMap::new();
+    let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+    for (fi, f) in ws.files.iter().enumerate() {
+        let toks = &f.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            let id = match t.ident() {
+                Some(s) => s,
+                None => continue,
+            };
+            let Some(&name) = names.iter().find(|n| **n == id) else {
+                continue;
+            };
+            if f.in_test(t.line) {
+                *mentions.entry(name).or_default() += 1;
+                continue;
+            }
+            let in_decl = decl_spans
+                .iter()
+                .any(|&(di, from, to)| di == fi && t.line >= from && t.line <= to);
+            if in_decl {
+                continue;
+            }
+            // Struct-literal init `name: value` (not a `::` path) …
+            let literal_init = toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                && !toks.get(i + 2).is_some_and(|n| n.is_punct(':'));
+            // … or field assignment `.name =` / `.name +=` (but not `==`).
+            let preceded_by_dot = i > 0 && toks[i - 1].is_punct('.');
+            let assigned = preceded_by_dot
+                && match toks.get(i + 1).map(|t| &t.tok) {
+                    Some(Tok::Punct('=')) => !toks.get(i + 2).is_some_and(|n| n.is_punct('=')),
+                    Some(Tok::Punct('+')) | Some(Tok::Punct('-')) => {
+                        toks.get(i + 2).is_some_and(|n| n.is_punct('='))
+                    }
+                    _ => false,
+                };
+            if literal_init || assigned {
+                *writes.entry(name).or_default() += 1;
+            }
+        }
+    }
+
+    let mut diags = Vec::new();
+    for fld in &fields {
+        let w = writes.get(fld.name.as_str()).copied().unwrap_or(0);
+        let m = mentions.get(fld.name.as_str()).copied().unwrap_or(0);
+        if w == 0 {
+            diags.push(Diagnostic {
+                check: CheckId::Stats,
+                file: fld.file.clone(),
+                line: fld.line,
+                excerpt: fld.excerpt.clone(),
+                message: format!(
+                    "`{}::{}` has no non-test write site \u{2014} dead telemetry",
+                    fld.strukt, fld.name
+                ),
+            });
+        }
+        if m == 0 {
+            diags.push(Diagnostic {
+                check: CheckId::Stats,
+                file: fld.file.clone(),
+                line: fld.line,
+                excerpt: fld.excerpt.clone(),
+                message: format!(
+                    "`{}::{}` is never mentioned in a test \u{2014} it can silently \
+                     stop counting",
+                    fld.strukt, fld.name
+                ),
+            });
+        }
+    }
+    diags
+}

@@ -1,0 +1,33 @@
+//! Check 3: wakeup audit. PR 7's model checker proved `notify_all` is
+//! load-bearing for the scheduler with stealing off (`no-lost-wakeup`
+//! fails under `notify_one` when the woken worker cannot serve the
+//! queue it was woken for). The repo rule is therefore: `notify_one`
+//! is allowed only where a single consumer is structurally guaranteed,
+//! and every such site must be allowlisted with a justification.
+
+use crate::source::Workspace;
+use crate::{CheckId, Diagnostic};
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (_, f) in ws.src_files() {
+        for (i, t) in f.tokens.iter().enumerate() {
+            if t.is_ident("notify_one")
+                && f.tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && !f.in_test(t.line)
+            {
+                diags.push(Diagnostic {
+                    check: CheckId::Wakeup,
+                    file: f.rel.clone(),
+                    line: t.line,
+                    excerpt: f.excerpt(t.line).to_string(),
+                    message: "`notify_one` risks lost wakeups unless exactly one \
+                              consumer is structurally guaranteed; use `notify_all` \
+                              or allowlist with a justification"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    diags
+}

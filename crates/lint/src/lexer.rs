@@ -1,0 +1,282 @@
+//! A minimal hand-rolled lexer for the subset of Rust that the checks
+//! need: identifiers, punctuation, and literals, each tagged with its
+//! source line. The point is not to parse Rust — it is to make the
+//! *token* patterns the checks look for (`.lock()`, `notify_one`,
+//! `Violation::new("…")`) immune to the classic text-scan traps:
+//! comments, string literals that mention the pattern, nested block
+//! comments, raw strings, and `'a` lifetimes that look like the start
+//! of a char literal.
+//!
+//! Everything else (numbers, operators) is collapsed into single-char
+//! punctuation or an opaque literal token; the checks only ever match
+//! short token sequences, so that is enough.
+
+/// One lexed token. Literals carry their decoded-enough payload:
+/// string literals keep their raw contents (the invariant
+/// cross-reference check reads `Violation::new("name")` arguments),
+/// everything else is opaque.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (`.`, `(`, `{`, `=`, …). Multi-char
+    /// operators arrive as consecutive tokens (`::` is `:` `:`).
+    Punct(char),
+    /// String or byte-string literal; payload is the raw contents
+    /// between the quotes (escapes left as written — the checks only
+    /// compare simple names, which never contain escapes).
+    Str(String),
+    /// Char literal, numeric literal, or lifetime — opaque.
+    Opaque,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(i) if i == s)
+    }
+}
+
+/// Lexes `src` into a token stream. Comments (line, doc, and nested
+/// block) and whitespace produce no tokens; they only advance the line
+/// counter. The lexer never fails: malformed input (e.g. an unclosed
+/// string at EOF) just ends the stream, which is the right behaviour
+/// for a linter that must not crash on the code it is judging.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::with_capacity(src.len() / 4);
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = b.len();
+
+    macro_rules! bump {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                // Line comment (incl. doc comments) to end of line.
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Block comment, nesting allowed.
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        bump!(b[i]);
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let (s, ni, nl) = scan_string(&b, i + 1, line);
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    line: start_line,
+                });
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                // Char literal vs lifetime. A char literal is 'x' or an
+                // escape '\n'; a lifetime is 'ident with no closing
+                // quote ('_' the char vs '_ the lifetime is settled by
+                // looking for the closing quote).
+                let start_line = line;
+                if i + 1 < n && b[i + 1] == '\\' {
+                    // Escaped char literal: scan to the closing quote.
+                    i += 2;
+                    while i < n && b[i] != '\'' {
+                        bump!(b[i]);
+                        i += 1;
+                    }
+                    i += 1; // closing quote (or EOF)
+                } else if i + 2 < n && b[i + 2] == '\'' {
+                    // Plain char literal 'x' (covers '_' and digits).
+                    i += 3;
+                } else {
+                    // Lifetime: consume the identifier.
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Opaque,
+                    line: start_line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start_line = line;
+                i += 1;
+                // Integer part, optional fraction, exponent, suffix —
+                // greedy over [0-9a-zA-Z_.] with the one subtlety that
+                // `.` is consumed only when followed by a digit, so
+                // `2.max(3)` leaves the `.` for the method call.
+                while i < n {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else if (d == '.'
+                        || ((d == '+' || d == '-') && matches!(b[i - 1], 'e' | 'E')))
+                        && i + 1 < n
+                        && b[i + 1].is_ascii_digit()
+                    {
+                        // Fraction digit or signed exponent: take the
+                        // separator and the digit together.
+                        i += 2;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Opaque,
+                    line: start_line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                // Identifier — unless it is a raw/byte string prefix
+                // (r", r#", b", br", br#").
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let word: String = b[start..i].iter().collect();
+                let is_str_prefix = matches!(word.as_str(), "r" | "b" | "br" | "rb")
+                    && i < n
+                    && (b[i] == '"' || b[i] == '#');
+                if is_str_prefix && word.starts_with('b') && b[i] == '"' && word != "br" {
+                    // b"..." byte string: escapes like a normal string.
+                    let start_line = line;
+                    let (s, ni, nl) = scan_string(&b, i + 1, line);
+                    out.push(Token {
+                        tok: Tok::Str(s),
+                        line: start_line,
+                    });
+                    i = ni;
+                    line = nl;
+                } else if is_str_prefix {
+                    // Raw string r"…", r#"…"#, br#"…"#: no escapes;
+                    // closed by `"` followed by the same number of #s.
+                    let start_line = line;
+                    let mut hashes = 0usize;
+                    while i < n && b[i] == '#' {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if i < n && b[i] == '"' {
+                        i += 1;
+                        let body_start = i;
+                        'raw: while i < n {
+                            if b[i] == '"' {
+                                let mut k = 0usize;
+                                while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                                    k += 1;
+                                }
+                                if k == hashes {
+                                    let s: String = b[body_start..i].iter().collect();
+                                    out.push(Token {
+                                        tok: Tok::Str(s),
+                                        line: start_line,
+                                    });
+                                    i += 1 + hashes;
+                                    break 'raw;
+                                }
+                            }
+                            bump!(b[i]);
+                            i += 1;
+                        }
+                    } else {
+                        // `r#ident` raw identifier: treat as ident.
+                        let rs = i;
+                        while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                            i += 1;
+                        }
+                        out.push(Token {
+                            tok: Tok::Ident(b[rs..i].iter().collect()),
+                            line: start_line,
+                        });
+                    }
+                } else {
+                    out.push(Token {
+                        tok: Tok::Ident(word),
+                        line,
+                    });
+                }
+            }
+            _ => {
+                out.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans a (byte-)string body starting just after the opening quote;
+/// returns (contents, index after closing quote, new line count).
+fn scan_string(b: &[char], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let n = b.len();
+    let start = i;
+    while i < n {
+        match b[i] {
+            '\\' => {
+                i += 2; // skip the escaped char (covers \" and \\)
+            }
+            '"' => {
+                let s: String = b[start..i].iter().collect();
+                return (s, i + 1, line);
+            }
+            c => {
+                if c == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    (b[start..].iter().collect(), n, line)
+}

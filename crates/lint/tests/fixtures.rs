@@ -1,0 +1,111 @@
+//! The known-bad corpus, in the same "CI must re-find the seeded bug"
+//! style as the model checker's mutation tests: every `bad_*` fixture
+//! must trip **exactly** its own check (at least one finding, and no
+//! finding from any other check — cross-talk would mean a fixture is
+//! accidentally testing two things), and every `good_*` fixture must
+//! come out clean under all six checks with an empty allowlist.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use fastmatch_lint::{run_checks, CheckId};
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn cases() -> Vec<(CheckId, String, PathBuf)> {
+    let mut out = Vec::new();
+    for check_dir in std::fs::read_dir(fixture_root()).unwrap() {
+        let check_dir = check_dir.unwrap().path();
+        let check = CheckId::parse(check_dir.file_name().unwrap().to_str().unwrap())
+            .expect("fixture dir named after a check id");
+        for case in std::fs::read_dir(&check_dir).unwrap() {
+            let case = case.unwrap().path();
+            let name = case.file_name().unwrap().to_str().unwrap().to_string();
+            out.push((check, name, case));
+        }
+    }
+    assert!(!out.is_empty(), "fixture corpus is missing");
+    out
+}
+
+#[test]
+fn corpus_has_two_bad_and_one_good_per_check() {
+    let mut bad = std::collections::BTreeMap::new();
+    let mut good = std::collections::BTreeMap::new();
+    for (check, name, _) in cases() {
+        if name.starts_with("bad_") {
+            *bad.entry(check.id()).or_insert(0u32) += 1;
+        } else if name.starts_with("good_") {
+            *good.entry(check.id()).or_insert(0u32) += 1;
+        } else {
+            panic!("fixture `{name}` is neither bad_* nor good_*");
+        }
+    }
+    for c in CheckId::ALL {
+        assert!(
+            bad.get(c.id()).copied().unwrap_or(0) >= 2,
+            "check {} needs >= 2 bad fixtures",
+            c.id()
+        );
+        assert!(
+            good.get(c.id()).copied().unwrap_or(0) >= 1,
+            "check {} needs >= 1 good fixture",
+            c.id()
+        );
+    }
+}
+
+#[test]
+fn every_bad_fixture_trips_exactly_its_check() {
+    for (check, name, root) in cases() {
+        if !name.starts_with("bad_") {
+            continue;
+        }
+        let analysis = run_checks(&root, &CheckId::ALL).unwrap();
+        let tripped: BTreeSet<&str> = analysis.diags.iter().map(|d| d.check.id()).collect();
+        assert!(
+            tripped.contains(check.id()),
+            "{}/{name}: expected a {} finding, got {:?}",
+            check.id(),
+            check.id(),
+            analysis.diags
+        );
+        assert_eq!(
+            tripped.len(),
+            1,
+            "{}/{name}: tripped other checks too: {:?}",
+            check.id(),
+            analysis.diags
+        );
+    }
+}
+
+#[test]
+fn every_good_fixture_is_clean() {
+    for (check, name, root) in cases() {
+        if !name.starts_with("good_") {
+            continue;
+        }
+        let analysis = run_checks(&root, &CheckId::ALL).unwrap();
+        assert!(
+            analysis.diags.is_empty(),
+            "{}/{name}: expected clean, got {:?}",
+            check.id(),
+            analysis.diags
+        );
+    }
+}
+
+#[test]
+fn cycle_fixture_describes_the_cycle_in_the_message() {
+    let root = fixture_root().join("lock_order/bad_cycle_two_locks");
+    let analysis = run_checks(&root, &[CheckId::LockOrder]).unwrap();
+    assert_eq!(analysis.diags.len(), 1, "{:?}", analysis.diags);
+    let msg = &analysis.diags[0].message;
+    assert!(
+        msg.contains("app::lib::a") && msg.contains("app::lib::b"),
+        "{msg}"
+    );
+}

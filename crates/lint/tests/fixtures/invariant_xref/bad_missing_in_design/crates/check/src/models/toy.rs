@@ -1,0 +1,4 @@
+//! Bad: the model registers an invariant DESIGN.md never documents.
+pub fn explore() -> Result<(), Violation> {
+    Err(Violation::new("phantom-invariant", "state 3"))
+}

@@ -1,0 +1,10 @@
+//! Bad: the invariant is documented, but the `finds_*` mutation test
+//! is not wired as a CI step — a detector CI never runs proves
+//! nothing.
+pub fn explore() -> Result<(), Violation> {
+    Err(Violation::new("toy-invariant", "state 3"))
+}
+
+fn finds_seeded_toy_bug() {
+    explore().unwrap_err();
+}

@@ -1,0 +1,8 @@
+//! Good: invariant documented, mutation test wired in CI.
+pub fn explore() -> Result<(), Violation> {
+    Err(Violation::new("toy-invariant", "state 3"))
+}
+
+fn finds_seeded_toy_bug() {
+    explore().unwrap_err();
+}

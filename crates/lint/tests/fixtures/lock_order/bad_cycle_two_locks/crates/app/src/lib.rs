@@ -1,0 +1,22 @@
+//! Bad: `forward` orders a before b, `backward` orders b before a —
+//! the acquisition graph has a cycle.
+use std::sync::Mutex;
+
+pub struct T {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+}
+
+impl T {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga - *gb
+    }
+}

@@ -1,0 +1,28 @@
+//! Bad: the cycle spans a call — `forward` holds a and calls
+//! `bump_b_slot` (which locks b); `backward` holds b and locks a
+//! directly. The cross-function lockset propagation must see it.
+use std::sync::Mutex;
+
+pub struct T {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+}
+
+fn bump_b_slot(t: &T) {
+    let mut gb = t.b.lock().unwrap();
+    *gb += 1;
+}
+
+impl T {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        bump_b_slot(self);
+        *ga
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga - *gb
+    }
+}

@@ -1,0 +1,21 @@
+//! Good: every path orders a before b — a DAG, no finding.
+use std::sync::Mutex;
+
+pub struct T {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+}
+
+impl T {
+    pub fn sum(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn diff(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga - *gb
+    }
+}

@@ -1,0 +1,16 @@
+//! Bad: sleeps while a mutex guard is live — the p99 collapse the
+//! lock_scope check exists to catch.
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct T {
+    state: Mutex<u64>,
+}
+
+impl T {
+    pub fn tick(&self) {
+        let mut g = self.state.lock().unwrap();
+        *g += 1;
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}

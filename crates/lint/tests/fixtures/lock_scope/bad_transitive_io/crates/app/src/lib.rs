@@ -1,0 +1,22 @@
+//! Bad: the blocking call hides one level down — `persist_now` fsyncs,
+//! and `commit` calls it with the state guard live. The analyzer must
+//! follow the chain.
+use std::fs::File;
+use std::sync::Mutex;
+
+pub struct T {
+    state: Mutex<u64>,
+    file: File,
+}
+
+fn persist_now(f: &File) -> std::io::Result<()> {
+    f.sync_all()
+}
+
+impl T {
+    pub fn commit(&self) -> std::io::Result<()> {
+        let mut g = self.state.lock().unwrap();
+        *g += 1;
+        persist_now(&self.file)
+    }
+}

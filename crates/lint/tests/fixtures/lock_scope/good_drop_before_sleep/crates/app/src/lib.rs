@@ -1,0 +1,27 @@
+//! Good: both release idioms — explicit `drop(guard)` and a scoped
+//! block — put the blocking call off the lock. A mention of ".lock()"
+//! in this comment or the string below must not confuse the lexer.
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct T {
+    state: Mutex<u64>,
+}
+
+impl T {
+    pub fn tick_dropped(&self) {
+        let mut g = self.state.lock().unwrap();
+        *g += 1;
+        drop(g);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    pub fn tick_scoped(&self) -> &'static str {
+        {
+            let mut g = self.state.lock().unwrap();
+            *g += 1;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+        "holding .lock() only in prose"
+    }
+}

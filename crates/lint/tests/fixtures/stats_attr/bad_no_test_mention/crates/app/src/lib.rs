@@ -1,0 +1,9 @@
+//! Bad: the counter is produced in production code but no test ever
+//! looks at it — it can silently stop counting.
+pub struct LiveStats {
+    pub orphaned_gauge: u64,
+}
+
+pub fn snapshot() -> LiveStats {
+    LiveStats { orphaned_gauge: 7 }
+}

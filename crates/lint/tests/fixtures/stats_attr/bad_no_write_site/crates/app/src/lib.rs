@@ -1,0 +1,20 @@
+//! Bad: the counter is declared and asserted on in a test, but no
+//! production code ever writes it — dead telemetry.
+#[derive(Default)]
+pub struct CacheStats {
+    pub ghost_counter: u64,
+}
+
+pub fn snapshot() -> CacheStats {
+    CacheStats::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghost_counter_defaults_to_zero() {
+        assert_eq!(snapshot().ghost_counter, 0);
+    }
+}

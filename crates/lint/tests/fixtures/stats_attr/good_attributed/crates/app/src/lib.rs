@@ -1,0 +1,20 @@
+//! Good: written in production, asserted in a test.
+pub struct IoStats {
+    pub blocks_scanned_zz: u64,
+}
+
+pub fn snapshot(n: u64) -> IoStats {
+    IoStats {
+        blocks_scanned_zz: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_what_it_saw() {
+        assert_eq!(snapshot(3).blocks_scanned_zz, 3);
+    }
+}

@@ -1,0 +1,5 @@
+//! Bad: `.expect(` is the same gate — an invariant message does not
+//! make the abort path acceptable in the hot path.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().expect("caller checked non-empty")
+}

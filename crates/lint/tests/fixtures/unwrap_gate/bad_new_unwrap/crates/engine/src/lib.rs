@@ -1,0 +1,4 @@
+//! Bad: a fresh `.unwrap()` in non-test engine code.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

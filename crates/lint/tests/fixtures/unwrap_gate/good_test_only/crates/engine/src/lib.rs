@@ -1,0 +1,15 @@
+//! Good: unwrap in test code (below `#[cfg(test)]`) and in doc prose
+//! (".unwrap() like this") is exempt, matching the old shell gate.
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_of_some() {
+        assert_eq!(first(&[5]).unwrap(), 5);
+    }
+}

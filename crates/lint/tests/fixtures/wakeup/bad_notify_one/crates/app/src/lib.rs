@@ -1,0 +1,17 @@
+//! Bad: `notify_one` on a condvar with (potentially) many waiters —
+//! the lost-wakeup shape PR 7's model checker proved real.
+use std::sync::{Condvar, Mutex};
+
+pub struct T {
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl T {
+    pub fn poke(&self) {
+        let mut g = self.state.lock().unwrap();
+        *g = true;
+        drop(g);
+        self.cv.notify_one();
+    }
+}

@@ -1,0 +1,6 @@
+//! Bad: same defect through a free function taking the condvar.
+use std::sync::Condvar;
+
+pub fn wake_exactly_one(cv: &Condvar) {
+    cv.notify_one();
+}

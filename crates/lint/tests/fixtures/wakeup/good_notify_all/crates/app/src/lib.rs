@@ -1,0 +1,18 @@
+//! Good: broadcast wakeup; a "notify_one" in a string or comment is
+//! not a finding.
+use std::sync::{Condvar, Mutex};
+
+pub struct T {
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl T {
+    pub fn poke(&self) -> &'static str {
+        let mut g = self.state.lock().unwrap();
+        *g = true;
+        drop(g);
+        self.cv.notify_all();
+        "never notify_one() here"
+    }
+}

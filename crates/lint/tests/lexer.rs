@@ -1,0 +1,106 @@
+//! Lexer edge cases: the analyzer must not "see" pattern text that
+//! lives inside strings or comments, and must keep brace depth and
+//! line numbers exact across the gnarly literal forms.
+
+use fastmatch_lint::lexer::{lex, Tok};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .into_iter()
+        .filter_map(|t| match t.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        })
+        .collect()
+}
+
+fn strings(src: &str) -> Vec<String> {
+    lex(src)
+        .into_iter()
+        .filter_map(|t| match t.tok {
+            Tok::Str(s) => Some(s),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn pattern_text_inside_string_is_a_string_token() {
+    let src = r#"let msg = "call .lock() then notify_one()"; done();"#;
+    let ids = idents(src);
+    assert!(!ids.contains(&"lock".to_string()), "{ids:?}");
+    assert!(!ids.contains(&"notify_one".to_string()), "{ids:?}");
+    assert!(ids.contains(&"done".to_string()));
+    assert_eq!(strings(src), vec!["call .lock() then notify_one()"]);
+}
+
+#[test]
+fn line_comments_and_nested_block_comments_are_skipped() {
+    let src = "a(); // b.lock()\n/* outer /* inner .unwrap() */ still comment */ c();";
+    assert_eq!(idents(src), vec!["a", "c"]);
+}
+
+#[test]
+fn raw_strings_with_hashes_and_embedded_quotes() {
+    let src = r###"let s = r#"quote " and .lock() inside"#; after();"###;
+    assert_eq!(idents(src), vec!["let", "s", "after"]);
+    assert_eq!(strings(src), vec![r#"quote " and .lock() inside"#]);
+}
+
+#[test]
+fn byte_and_raw_byte_strings() {
+    let src = r###"let a = b"sleep()"; let c = br#"join()"#; tail();"###;
+    let ids = idents(src);
+    assert!(!ids.contains(&"sleep".to_string()), "{ids:?}");
+    assert!(!ids.contains(&"join".to_string()), "{ids:?}");
+    assert!(ids.contains(&"tail".to_string()));
+}
+
+#[test]
+fn char_literal_vs_lifetime() {
+    // 'a in `&'a str` is a lifetime, not an unterminated char literal:
+    // the lexer must not swallow the rest of the line.
+    let src = "fn f<'a>(x: &'a str) -> char { let c = '}'; let n = '\\n'; c }";
+    let toks = lex(src);
+    let depth_balanced = toks
+        .iter()
+        .filter(|t| matches!(t.tok, Tok::Punct('{')))
+        .count()
+        == toks
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Punct('}')))
+            .count();
+    assert!(depth_balanced, "char literal '}}' leaked a brace");
+    assert!(idents(src).contains(&"str".to_string()));
+}
+
+#[test]
+fn escaped_quote_in_string_does_not_end_it() {
+    let src = r#"let s = "a \" b .unwrap() c"; ok();"#;
+    assert!(!idents(src).contains(&"unwrap".to_string()));
+    assert!(idents(src).contains(&"ok".to_string()));
+}
+
+#[test]
+fn line_numbers_survive_multiline_literals() {
+    let src = "let a = \"line\none\";\nmarker();";
+    let toks = lex(src);
+    let marker = toks
+        .iter()
+        .find(|t| matches!(&t.tok, Tok::Ident(s) if s == "marker"))
+        .unwrap();
+    assert_eq!(marker.line, 3);
+}
+
+#[test]
+fn punct_and_brace_stream() {
+    let toks = lex("impl T { fn g(&self) -> u8 { 0 } }");
+    let puncts: String = toks
+        .iter()
+        .filter_map(|t| match t.tok {
+            Tok::Punct(c) => Some(c),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(puncts, "{(&)->{}}");
+}

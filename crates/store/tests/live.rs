@@ -225,6 +225,14 @@ fn soak_with_compaction_is_invisible_to_readers_and_bounds_files() {
     live.compact_now();
     let stats = live.stats();
     assert!(stats.compactions > 0, "compactor never ran: {stats:?}");
+    assert!(
+        stats.compacted_segments >= 2 * stats.compactions,
+        "every compaction merges at least two members: {stats:?}"
+    );
+    assert!(
+        stats.snapshots > 0,
+        "the soak's readers pin snapshots: {stats:?}"
+    );
     assert_eq!(stats.compact_errors, 0, "{stats:?}");
     assert_eq!(stats.seal_errors, 0, "{stats:?}");
     assert!(
@@ -291,6 +299,10 @@ fn seed_crash_table(dir: &Path, rows: u64) -> (LiveTableConfig, Table) {
         live.append_row(&[w, payload(w, i)]).unwrap();
     }
     let reference = live.snapshot().to_table().unwrap();
+    assert!(
+        live.stats().wal_syncs >= rows,
+        "per-record fsync cadence: every append syncs the WAL"
+    );
     drop(live);
     (cfg, reference)
 }
